@@ -1,0 +1,26 @@
+//! Node storage for the queue algorithms.
+//!
+//! The paper's queues never call a general-purpose allocator: nodes come
+//! from a pre-allocated pool threaded through "Treiber's simple and
+//! efficient non-blocking stack algorithm", and a dequeued node may be
+//! pushed straight back for reuse because the Michael–Scott dequeue
+//! guarantees `Tail` never points at (or behind) a reclaimed node.
+//!
+//! [`NodeArena`] provides exactly that: `capacity` nodes, each with a value
+//! word and a [`Tagged`](msq_platform::Tagged) next word, plus a
+//! non-blocking LIFO free list. The
+//! tagged `{index, counter}` representation is the paper's own suggestion
+//! for fitting an ABA counter and a pointer into one CAS-able word.
+//!
+//! [`RcArena`] adds Valois-style per-node reference counting (with the
+//! double-reclamation fix in the spirit of Michael & Scott's TR 599
+//! correction); it exists so the Valois baseline pays the same costs it
+//! paid in the paper's experiments.
+
+#![warn(missing_docs)]
+
+mod arena;
+mod valois;
+
+pub use arena::NodeArena;
+pub use valois::RcArena;

@@ -1,0 +1,219 @@
+//! The single-lock queue: the baseline every experiment includes.
+
+use msq_arena::NodeArena;
+use msq_platform::{
+    AtomicWord, BackoffConfig, ConcurrentWordQueue, Platform, QueueFull, NULL_INDEX,
+};
+use msq_sync::{RawLock, TtasLock};
+
+/// A linked-list FIFO queue protected by one test-and-test_and_set lock
+/// (with bounded exponential backoff, as in the paper's experiments).
+///
+/// Head and tail operations serialize completely — the queue the paper
+/// calls "a straightforward single-lock queue", which wins at one or two
+/// processors (lowest constant overhead) and collapses under contention
+/// and multiprogramming.
+///
+/// # Example
+///
+/// ```
+/// use msq_baselines::SingleLockQueue;
+/// use msq_platform::{ConcurrentWordQueue, NativePlatform};
+///
+/// let queue = SingleLockQueue::with_capacity(&NativePlatform::new(), 8);
+/// queue.enqueue(5).unwrap();
+/// assert_eq!(queue.dequeue(), Some(5));
+/// ```
+pub struct SingleLockQueue<P: Platform> {
+    head: P::Cell,
+    tail: P::Cell,
+    lock: TtasLock<P>,
+    arena: NodeArena<P>,
+    platform: P,
+}
+
+impl<P: Platform> SingleLockQueue<P> {
+    /// Creates a queue able to hold `capacity` values simultaneously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity + 1` does not fit a tagged index.
+    pub fn with_capacity(platform: &P, capacity: u32) -> Self {
+        Self::with_capacity_and_backoff(platform, capacity, BackoffConfig::DEFAULT)
+    }
+
+    /// As [`SingleLockQueue::with_capacity`] with explicit lock backoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity + 1` does not fit a tagged index.
+    pub fn with_capacity_and_backoff(
+        platform: &P,
+        capacity: u32,
+        backoff: BackoffConfig,
+    ) -> Self {
+        let arena = NodeArena::new(platform, capacity.checked_add(1).expect("capacity overflow"));
+        let dummy = arena.alloc().expect("fresh arena");
+        arena.set_next(dummy, NULL_INDEX);
+        SingleLockQueue {
+            head: platform.alloc_cell(u64::from(dummy)),
+            tail: platform.alloc_cell(u64::from(dummy)),
+            lock: TtasLock::with_backoff(platform, backoff),
+            arena,
+            platform: platform.clone(),
+        }
+    }
+
+    /// Maximum number of values the queue can hold.
+    pub fn capacity(&self) -> u32 {
+        self.arena.capacity() - 1
+    }
+}
+
+impl<P: Platform> ConcurrentWordQueue for SingleLockQueue<P> {
+    fn enqueue(&self, value: u64) -> Result<(), QueueFull> {
+        let Some(node) = self.arena.alloc() else {
+            return Err(QueueFull(value));
+        };
+        self.arena.set_value(node, value);
+        self.arena.set_next(node, NULL_INDEX);
+        self.lock.lock(&self.platform);
+        let tail = self.tail.load() as u32;
+        self.arena.set_next(tail, node);
+        self.tail.store(u64::from(node));
+        self.lock.unlock(&self.platform);
+        Ok(())
+    }
+
+    fn dequeue(&self) -> Option<u64> {
+        self.lock.lock(&self.platform);
+        let node = self.head.load() as u32;
+        let next = self.arena.next(node);
+        if next.is_null() {
+            self.lock.unlock(&self.platform);
+            return None;
+        }
+        let value = self.arena.value(next.index());
+        self.head.store(u64::from(next.index()));
+        self.lock.unlock(&self.platform);
+        self.arena.free(node);
+        Some(value)
+    }
+
+    fn name(&self) -> &'static str {
+        "single-lock"
+    }
+
+    fn is_nonblocking(&self) -> bool {
+        false
+    }
+}
+
+impl<P: Platform> std::fmt::Debug for SingleLockQueue<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SingleLockQueue(capacity={})", self.capacity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msq_platform::NativePlatform;
+    use std::sync::Arc;
+
+    fn queue(capacity: u32) -> SingleLockQueue<NativePlatform> {
+        SingleLockQueue::with_capacity(&NativePlatform::new(), capacity)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = queue(16);
+        for i in 0..10 {
+            q.enqueue(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_recovers() {
+        let q = queue(1);
+        q.enqueue(9).unwrap();
+        assert_eq!(q.enqueue(10), Err(QueueFull(10)));
+        assert_eq!(q.dequeue(), Some(9));
+        q.enqueue(10).unwrap();
+        assert_eq!(q.dequeue(), Some(10));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        let q = Arc::new(queue(256));
+        let sum = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let got = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let total = 4 * 3_000_u64;
+        let mut handles = Vec::new();
+        for t in 0..4_u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..3_000_u64 {
+                    let v = t * 3_000 + i + 1;
+                    while q.enqueue(v).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            let sum = Arc::clone(&sum);
+            let got = Arc::clone(&got);
+            handles.push(std::thread::spawn(move || {
+                while got.load(std::sync::atomic::Ordering::SeqCst) < total {
+                    if let Some(v) = q.dequeue() {
+                        sum.fetch_add(v, std::sync::atomic::Ordering::SeqCst);
+                        got.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            sum.load(std::sync::atomic::Ordering::SeqCst),
+            (1..=total).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn works_under_simulation() {
+        use msq_sim::{SimConfig, Simulation};
+        let sim = Simulation::new(SimConfig {
+            processors: 2,
+            processes_per_processor: 2,
+            quantum_ns: 100_000,
+            ..SimConfig::default()
+        });
+        let q = Arc::new(SingleLockQueue::with_capacity(&sim.platform(), 32));
+        sim.run({
+            let q = Arc::clone(&q);
+            move |info| {
+                for i in 0..40 {
+                    q.enqueue((info.pid as u64) << 32 | i).unwrap();
+                    q.dequeue().expect("never empty after own enqueue");
+                }
+            }
+        });
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn reports_identity() {
+        let q = queue(1);
+        assert_eq!(q.name(), "single-lock");
+        assert!(!q.is_nonblocking());
+    }
+}

@@ -1,0 +1,252 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! * **Backoff** — the paper uses bounded exponential backoff in both the
+//!   lock-based and non-blocking algorithms; `BackoffConfig::DISABLED`
+//!   removes it. (The paper: "performance was not sensitive to the exact
+//!   choice of backoff parameters" — given a modest amount of other work.)
+//! * **Reclamation strategy** — arena free list (the paper's scheme) vs
+//!   hazard pointers + heap allocation (the modern idiomatic variant).
+//! * **Simulated contention with and without backoff** — where backoff
+//!   actually earns its keep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msq_baselines::SingleLockQueue;
+use msq_core::{MsQueue, WordMsQueue, WordTwoLockQueue};
+use msq_harness::WorkloadConfig;
+use msq_platform::{BackoffConfig, ConcurrentWordQueue, NativePlatform, Platform};
+use msq_sim::{SimConfig, Simulation};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn backoff_on_off_native(c: &mut Criterion) {
+    let platform = NativePlatform::new();
+    let mut group = c.benchmark_group("backoff_uncontended");
+    for (label, config) in [
+        ("default", BackoffConfig::DEFAULT),
+        ("disabled", BackoffConfig::DISABLED),
+    ] {
+        let queue = WordMsQueue::with_capacity_and_backoff(&platform, 64, config);
+        group.bench_function(format!("ms-nonblocking/{label}"), |b| {
+            b.iter(|| {
+                queue.enqueue(black_box(5)).unwrap();
+                black_box(queue.dequeue())
+            })
+        });
+        let two_lock = WordTwoLockQueue::with_capacity_and_backoff(&platform, 64, config);
+        group.bench_function(format!("two-lock/{label}"), |b| {
+            b.iter(|| {
+                two_lock.enqueue(black_box(5)).unwrap();
+                black_box(two_lock.dequeue())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn backoff_under_simulated_contention(c: &mut Criterion) {
+    // 8 simulated processors hammering one queue with NO other work:
+    // maximum contention, where backoff matters most.
+    let mut group = c.benchmark_group("backoff_contended_sim");
+    group.sample_size(10);
+    for (label, config) in [
+        ("default", BackoffConfig::DEFAULT),
+        ("disabled", BackoffConfig::DISABLED),
+    ] {
+        group.bench_function(format!("ms-nonblocking/{label}"), |b| {
+            b.iter(|| {
+                let sim = Simulation::new(SimConfig {
+                    processors: 8,
+                    ..SimConfig::default()
+                });
+                let queue = Arc::new(WordMsQueue::with_capacity_and_backoff(
+                    &sim.platform(),
+                    1_024,
+                    config,
+                ));
+                let report = sim.run({
+                    let queue = Arc::clone(&queue);
+                    move |info| {
+                        for i in 0..50_u64 {
+                            queue.enqueue((info.pid as u64) << 32 | i).unwrap();
+                            while queue.dequeue().is_none() {}
+                        }
+                    }
+                });
+                black_box(report.elapsed_ns)
+            })
+        });
+        group.bench_function(format!("single-lock/{label}"), |b| {
+            b.iter(|| {
+                let sim = Simulation::new(SimConfig {
+                    processors: 8,
+                    ..SimConfig::default()
+                });
+                let queue = Arc::new(SingleLockQueue::with_capacity_and_backoff(
+                    &sim.platform(),
+                    1_024,
+                    config,
+                ));
+                let report = sim.run({
+                    let queue = Arc::clone(&queue);
+                    move |info| {
+                        for i in 0..50_u64 {
+                            queue.enqueue((info.pid as u64) << 32 | i).unwrap();
+                            while queue.dequeue().is_none() {}
+                        }
+                    }
+                });
+                black_box(report.elapsed_ns)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn reclamation_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reclamation");
+    let platform = NativePlatform::new();
+    let arena_queue = WordMsQueue::with_capacity(&platform, 64);
+    group.bench_function("arena-free-list", |b| {
+        b.iter(|| {
+            arena_queue.enqueue(black_box(5)).unwrap();
+            black_box(arena_queue.dequeue())
+        })
+    });
+    let hazard_queue: MsQueue<u64> = MsQueue::new();
+    group.bench_function("hazard-pointers-heap", |b| {
+        b.iter(|| {
+            hazard_queue.enqueue(black_box(5));
+            black_box(hazard_queue.dequeue())
+        })
+    });
+    let epoch_queue: msq_core::EpochMsQueue<u64> = msq_core::EpochMsQueue::new();
+    group.bench_function("epoch-heap", |b| {
+        b.iter(|| {
+            epoch_queue.enqueue(black_box(5));
+            black_box(epoch_queue.dequeue())
+        })
+    });
+    group.finish();
+}
+
+fn other_work_sensitivity(c: &mut Criterion) {
+    // The paper: backoff parameters don't matter much "in programs that do
+    // at least a modest amount of work between queue operations". Sweep
+    // the other-work knob at fixed contention.
+    let mut group = c.benchmark_group("other_work_sensitivity");
+    group.sample_size(10);
+    for other_work_ns in [0_u64, 2_000, 6_000, 12_000] {
+        group.bench_function(format!("ms-nonblocking/{other_work_ns}ns"), |b| {
+            b.iter(|| {
+                let sim = Simulation::new(SimConfig {
+                    processors: 4,
+                    ..SimConfig::default()
+                });
+                let platform = sim.platform();
+                let queue = Arc::new(WordMsQueue::with_capacity(&platform, 1_024));
+                let workload = WorkloadConfig {
+                    pairs_total: 200,
+                    other_work_ns,
+                    capacity: 1_024,
+                };
+                let report = sim.run({
+                    let queue = Arc::clone(&queue);
+                    let platform = platform.clone();
+                    move |info| {
+                        for i in 0..workload.pairs_total / 4 {
+                            queue.enqueue((info.pid as u64) << 32 | i).unwrap();
+                            platform.delay(workload.other_work_ns);
+                            while queue.dequeue().is_none() {}
+                            platform.delay(workload.other_work_ns);
+                        }
+                    }
+                });
+                black_box(report.elapsed_ns)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn lock_substrates_under_simulated_contention(c: &mut Criterion) {
+    // The lock the queue algorithms build on: the paper's TTAS-with-backoff
+    // vs plain TAS, a ticket lock, and the queue locks of the authors'
+    // reference [12] (MCS, CLH). 6 simulated processors hammer one
+    // counter-increment critical section.
+    use msq_sync::{ClhLock, McsLock, RawLock, TasLock, TicketLock, TokenLock, TtasLock};
+
+    fn run_raw<L: RawLock<msq_sim::SimPlatform> + 'static>(
+        make: impl Fn(&msq_sim::SimPlatform) -> L,
+    ) -> u64 {
+        let sim = Simulation::new(SimConfig {
+            processors: 6,
+            ..SimConfig::default()
+        });
+        let platform = sim.platform();
+        let lock = Arc::new(make(&platform));
+        let shared = Arc::new(msq_platform::Platform::alloc_cell(&platform, 0));
+        sim.run({
+            let lock = Arc::clone(&lock);
+            let shared = Arc::clone(&shared);
+            move |_| {
+                for _ in 0..50 {
+                    lock.lock(&platform);
+                    let v = msq_platform::AtomicWord::load(&*shared);
+                    msq_platform::AtomicWord::store(&*shared, v + 1);
+                    lock.unlock(&platform);
+                }
+            }
+        })
+        .elapsed_ns
+    }
+
+    fn run_token<L: TokenLock<msq_sim::SimPlatform> + 'static>(
+        make: impl Fn(&msq_sim::SimPlatform) -> L,
+    ) -> u64 {
+        let sim = Simulation::new(SimConfig {
+            processors: 6,
+            ..SimConfig::default()
+        });
+        let platform = sim.platform();
+        let lock = Arc::new(make(&platform));
+        let shared = Arc::new(msq_platform::Platform::alloc_cell(&platform, 0));
+        sim.run({
+            let lock = Arc::clone(&lock);
+            let shared = Arc::clone(&shared);
+            move |_| {
+                for _ in 0..50 {
+                    let token = lock.lock(&platform);
+                    let v = msq_platform::AtomicWord::load(&*shared);
+                    msq_platform::AtomicWord::store(&*shared, v + 1);
+                    lock.unlock(&platform, token);
+                }
+            }
+        })
+        .elapsed_ns
+    }
+
+    let mut group = c.benchmark_group("lock_substrates_contended_sim");
+    group.sample_size(10);
+    group.bench_function("tas", |b| b.iter(|| black_box(run_raw(TasLock::new))));
+    group.bench_function("ttas-backoff", |b| {
+        b.iter(|| black_box(run_raw(TtasLock::new)))
+    });
+    group.bench_function("ticket", |b| b.iter(|| black_box(run_raw(TicketLock::new))));
+    group.bench_function("mcs", |b| {
+        b.iter(|| black_box(run_token(|p| McsLock::new(p, 8))))
+    });
+    group.bench_function("clh", |b| {
+        b.iter(|| black_box(run_token(|p| ClhLock::new(p, 8))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    backoff_on_off_native,
+    backoff_under_simulated_contention,
+    reclamation_strategies,
+    other_work_sensitivity,
+    lock_substrates_under_simulated_contention
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 5 of the paper: net time for the Section 4 workload on a
+//! dedicated simulated multiprocessor with 3 process(es) per processor,
+//! one Criterion benchmark per (algorithm, processor-count) cell. The
+//! full-size sweep (with CSV output) is `cargo run -p msq-harness
+//! --release --bin figures -- --figure 5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msq_bench::figure_cell;
+use msq_harness::Algorithm;
+use std::hint::black_box;
+
+fn figure5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5");
+    group.sample_size(10);
+    for algorithm in Algorithm::ALL {
+        for processors in [1, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.label(), processors),
+                &processors,
+                |b, &p| b.iter(|| black_box(figure_cell(algorithm, p, 3)).net_ns),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figure5);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `ops` — native per-operation costs for all six algorithms plus the
+//!   idiomatic heap queues and third-party comparators;
+//! * `figure3` / `figure4` / `figure5` — one bench per paper figure,
+//!   running the Section 4 workload on the simulated multiprocessor at a
+//!   reduced op count (the full-size sweeps are the `figures` binary in
+//!   `msq-harness`);
+//! * `ablations` — backoff on/off and idiomatic-variant comparisons.
+//!
+//! **Interpreting the simulator-based benches:** Criterion measures *host
+//! wall time*, which for a simulated run tracks the number of simulated
+//! operations (each one is a scheduler transaction), not the virtual-time
+//! result. They exist to catch performance regressions in the simulator
+//! and algorithms; the reproduction's actual metric — virtual net time —
+//! comes from the `figures` binary and is asserted by
+//! `tests/figure_shapes.rs`. The native benches (`ops`, the uncontended
+//! ablations) measure real operation latency directly.
+
+#![warn(missing_docs)]
+
+use msq_harness::{run_simulated, Algorithm, MeasuredPoint, WorkloadConfig};
+use msq_sim::SimConfig;
+
+/// A small but contended workload sized for Criterion iteration counts.
+pub fn bench_workload() -> WorkloadConfig {
+    WorkloadConfig {
+        pairs_total: 500,
+        other_work_ns: 6_000,
+        capacity: 1_024,
+    }
+}
+
+/// Simulated machine for figure benches; quantum scaled with the reduced
+/// op count exactly as the `figures` binary does.
+pub fn bench_sim_config(processors: usize, processes_per_processor: usize) -> SimConfig {
+    // 10 ms scaled by pairs/10^6 would give 5 µs for the 500-pair bench
+    // workload; clamp to the harness's 20 µs floor.
+    let quantum_ns = 20_000;
+    SimConfig {
+        processors,
+        processes_per_processor,
+        quantum_ns,
+        ctx_switch_ns: (quantum_ns / 400).max(200),
+        ..SimConfig::default()
+    }
+}
+
+/// Runs one figure cell (for use inside a Criterion `iter`).
+pub fn figure_cell(
+    algorithm: Algorithm,
+    processors: usize,
+    processes_per_processor: usize,
+) -> MeasuredPoint {
+    run_simulated(
+        algorithm,
+        bench_sim_config(processors, processes_per_processor),
+        &bench_workload(),
+    )
+}

@@ -1,0 +1,309 @@
+//! `EpochMsQueue<T>`: the MS queue under epoch-based reclamation.
+//!
+//! A third answer to the reclamation question the paper solves with a
+//! type-stable free list (and `MsQueue<T>` solves with hazard pointers):
+//! crossbeam's epoch scheme. Readers pin an epoch instead of publishing
+//! per-pointer hazards — cheaper on the read path, at the cost of
+//! unbounded (though amortized-small) reclamation delay when a thread
+//! stalls inside a pinned section. The `reclamation` ablation bench
+//! compares all three.
+
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::Ordering;
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
+use crossbeam_utils::CachePadded;
+
+struct Node<T> {
+    /// Initialized for every node except the current dummy.
+    value: MaybeUninit<T>,
+    next: Atomic<Node<T>>,
+}
+
+/// An unbounded lock-free MPMC FIFO queue — the Michael–Scott algorithm
+/// with crossbeam-epoch reclamation.
+///
+/// # Example
+///
+/// ```
+/// use msq_core::EpochMsQueue;
+///
+/// let queue = EpochMsQueue::new();
+/// queue.enqueue(1);
+/// queue.enqueue(2);
+/// assert_eq!(queue.dequeue(), Some(1));
+/// assert_eq!(queue.dequeue(), Some(2));
+/// assert_eq!(queue.dequeue(), None);
+/// ```
+pub struct EpochMsQueue<T> {
+    head: CachePadded<Atomic<Node<T>>>,
+    tail: CachePadded<Atomic<Node<T>>>,
+}
+
+unsafe impl<T: Send> Send for EpochMsQueue<T> {}
+unsafe impl<T: Send> Sync for EpochMsQueue<T> {}
+
+impl<T> EpochMsQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        let queue = EpochMsQueue {
+            head: CachePadded::new(Atomic::null()),
+            tail: CachePadded::new(Atomic::null()),
+        };
+        let dummy = Owned::new(Node {
+            value: MaybeUninit::uninit(),
+            next: Atomic::null(),
+        });
+        let guard = epoch::pin();
+        let dummy = dummy.into_shared(&guard);
+        queue.head.store(dummy, Ordering::Relaxed);
+        queue.tail.store(dummy, Ordering::Relaxed);
+        queue
+    }
+
+    /// Adds `value` at the tail. Lock-free.
+    pub fn enqueue(&self, value: T) {
+        let guard = epoch::pin();
+        let mut node = Owned::new(Node {
+            value: MaybeUninit::new(value),
+            next: Atomic::null(),
+        });
+        loop {
+            let tail = self.tail.load(Ordering::Acquire, &guard);
+            // Safety: epoch-pinned; tail is never null after construction.
+            let tail_ref = unsafe { tail.deref() };
+            let next = tail_ref.next.load(Ordering::Acquire, &guard);
+            if !next.is_null() {
+                // Help a lagging tail (E12).
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    &guard,
+                );
+                continue;
+            }
+            match tail_ref.next.compare_exchange(
+                Shared::null(),
+                node,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
+                Ok(inserted) => {
+                    let _ = self.tail.compare_exchange(
+                        tail,
+                        inserted,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        &guard,
+                    );
+                    return;
+                }
+                Err(error) => {
+                    node = error.new;
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the head value, or `None` if observed empty.
+    /// Lock-free.
+    pub fn dequeue(&self) -> Option<T> {
+        let guard = epoch::pin();
+        loop {
+            let head = self.head.load(Ordering::Acquire, &guard);
+            // Safety: epoch-pinned; head is never null.
+            let head_ref = unsafe { head.deref() };
+            let next = head_ref.next.load(Ordering::Acquire, &guard);
+            if next.is_null() {
+                return None;
+            }
+            let tail = self.tail.load(Ordering::Acquire, &guard);
+            if head == tail {
+                // Tail is falling behind (D9): help it.
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    &guard,
+                );
+                continue;
+            }
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire, &guard)
+                .is_ok()
+            {
+                // Safety: sole winner of the head CAS moves the value out;
+                // the old dummy is destroyed after the epoch quiesces, and
+                // its value slot is stale (moved out or never initialized),
+                // so only the allocation is freed.
+                let value = unsafe { ptr::read(next.deref().value.as_ptr()) };
+                unsafe { guard.defer_destroy(head) };
+                return Some(value);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Whether the queue was observed empty (snapshot semantics).
+    pub fn is_empty(&self) -> bool {
+        let guard = epoch::pin();
+        let head = self.head.load(Ordering::Acquire, &guard);
+        // Safety: epoch-pinned; head is never null.
+        unsafe { head.deref() }
+            .next
+            .load(Ordering::Acquire, &guard)
+            .is_null()
+    }
+}
+
+impl<T> Default for EpochMsQueue<T> {
+    fn default() -> Self {
+        EpochMsQueue::new()
+    }
+}
+
+impl<T> Drop for EpochMsQueue<T> {
+    fn drop(&mut self) {
+        // Exclusive access: walk and free directly.
+        let guard = unsafe { epoch::unprotected() };
+        let mut node = self.head.load(Ordering::Relaxed, guard);
+        let mut is_dummy = true;
+        while !node.is_null() {
+            // Safety: exclusive access during drop.
+            let mut owned = unsafe { node.into_owned() };
+            let next = owned.next.load(Ordering::Relaxed, guard);
+            if !is_dummy {
+                // Safety: non-dummy nodes hold initialized values.
+                unsafe { ptr::drop_in_place(owned.value.as_mut_ptr()) };
+            }
+            is_dummy = false;
+            drop(owned);
+            node = next;
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for EpochMsQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EpochMsQueue(empty={})", self.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = EpochMsQueue::new();
+        for i in 0..100 {
+            q.enqueue(i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn empty_transitions() {
+        let q = EpochMsQueue::new();
+        assert!(q.is_empty());
+        q.enqueue("a");
+        assert!(!q.is_empty());
+        assert_eq!(q.dequeue(), Some("a"));
+        assert!(q.is_empty());
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn drop_releases_remaining_values() {
+        struct Tracked(Arc<AtomicU64>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicU64::new(0));
+        {
+            let q = EpochMsQueue::new();
+            for _ in 0..8 {
+                q.enqueue(Tracked(Arc::clone(&drops)));
+            }
+            drop(q.dequeue());
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn mpmc_stress() {
+        let q = Arc::new(EpochMsQueue::new());
+        let total = 4 * 8_000_u64;
+        let consumed = Arc::new(AtomicU64::new(0));
+        let sum = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..4_u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..8_000_u64 {
+                    q.enqueue(t * 8_000 + i + 1);
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            let consumed = Arc::clone(&consumed);
+            let sum = Arc::clone(&sum);
+            handles.push(std::thread::spawn(move || {
+                while consumed.load(Ordering::SeqCst) < total {
+                    if let Some(v) = q.dequeue() {
+                        sum.fetch_add(v, Ordering::SeqCst);
+                        consumed.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sum.load(Ordering::SeqCst), (1..=total).sum::<u64>());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn per_producer_order() {
+        let q = Arc::new(EpochMsQueue::new());
+        let mut handles = Vec::new();
+        for t in 0..3_u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5_000_u64 {
+                    q.enqueue((t << 32) | i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut last = [None::<u64>; 3];
+        while let Some(v) = q.dequeue() {
+            let producer = (v >> 32) as usize;
+            let seq = v & 0xffff_ffff;
+            if let Some(prev) = last[producer] {
+                assert!(seq > prev);
+            }
+            last[producer] = Some(seq);
+        }
+    }
+}

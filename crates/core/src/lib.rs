@@ -1,0 +1,69 @@
+//! The paper's two contributions.
+//!
+//! * [`WordMsQueue`] — the **non-blocking concurrent queue** of Figure 1:
+//!   a singly-linked list with `Head`/`Tail`, a dummy node, counted
+//!   (tagged) pointers against ABA, and a Treiber-stack free list so
+//!   dequeued nodes are reused. Implemented line-for-line against the
+//!   paper's pseudo-code over the `Platform` abstraction, so it runs
+//!   unchanged on hardware atomics and inside the `msq-sim` simulator.
+//! * [`WordTwoLockQueue`] — the **two-lock queue** of Figure 2: separate
+//!   head and tail test-and-test_and_set locks (with bounded exponential
+//!   backoff) plus the same dummy-node trick, allowing one enqueue and one
+//!   dequeue to proceed concurrently.
+//!
+//! For downstream users the crate also provides idiomatic heap-allocated
+//! generic versions:
+//!
+//! * [`MsQueue`] — `MsQueue<T>` with hazard-pointer reclamation
+//!   (`msq-hazard`) and release/acquire orderings;
+//! * [`EpochMsQueue`] — the same algorithm under crossbeam epoch-based
+//!   reclamation (the third answer to the reclamation question, for the
+//!   ablation benches);
+//! * [`TwoLockQueue`] — `TwoLockQueue<T>` over `parking_lot` mutexes; and
+//! * [`LockFreeStack`] — Treiber's stack (the paper's free-list
+//!   algorithm) as a generic structure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use msq_core::MsQueue;
+//! use std::sync::Arc;
+//!
+//! let queue = Arc::new(MsQueue::new());
+//! let producers: Vec<_> = (0..4)
+//!     .map(|t| {
+//!         let queue = Arc::clone(&queue);
+//!         std::thread::spawn(move || {
+//!             for i in 0..100 {
+//!                 queue.enqueue((t, i));
+//!             }
+//!         })
+//!     })
+//!     .collect();
+//! for p in producers {
+//!     p.join().unwrap();
+//! }
+//! let mut count = 0;
+//! while queue.dequeue().is_some() {
+//!     count += 1;
+//! }
+//! assert_eq!(count, 400);
+//! ```
+
+#![warn(missing_docs)]
+
+mod epoch_queue;
+mod ms_queue;
+pub mod spsc;
+mod stack;
+mod two_lock_queue;
+mod word_ms;
+mod word_two_lock;
+
+pub use epoch_queue::EpochMsQueue;
+pub use ms_queue::MsQueue;
+pub use spsc::channel as spsc_channel;
+pub use stack::LockFreeStack;
+pub use two_lock_queue::TwoLockQueue;
+pub use word_ms::WordMsQueue;
+pub use word_two_lock::WordTwoLockQueue;

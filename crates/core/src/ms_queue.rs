@@ -1,0 +1,353 @@
+//! `MsQueue<T>`: the idiomatic, heap-allocated Michael–Scott queue.
+
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+use crossbeam_utils::CachePadded;
+use msq_hazard::{PooledHazard, GLOBAL_DOMAIN};
+
+struct Node<T> {
+    /// Initialized for every node except the current dummy: a node's value
+    /// is moved out by the dequeue that turns it into the dummy.
+    value: MaybeUninit<T>,
+    next: AtomicPtr<Node<T>>,
+}
+
+impl<T> Node<T> {
+    fn dummy() -> *mut Node<T> {
+        Box::into_raw(Box::new(Node {
+            value: MaybeUninit::uninit(),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+}
+
+/// An unbounded multi-producer multi-consumer lock-free FIFO queue — the
+/// paper's non-blocking algorithm with heap nodes and hazard-pointer
+/// reclamation in place of the experiments' arena free list.
+///
+/// This is the variant a downstream Rust user would reach for: `T` is any
+/// `Send` type, operations never block, and memory is returned to the
+/// allocator (amortized) rather than held in a pool.
+///
+/// # Example
+///
+/// ```
+/// use msq_core::MsQueue;
+///
+/// let queue = MsQueue::new();
+/// queue.enqueue("a");
+/// queue.enqueue("b");
+/// assert_eq!(queue.dequeue(), Some("a"));
+/// assert_eq!(queue.dequeue(), Some("b"));
+/// assert_eq!(queue.dequeue(), None);
+/// ```
+pub struct MsQueue<T> {
+    head: CachePadded<AtomicPtr<Node<T>>>,
+    tail: CachePadded<AtomicPtr<Node<T>>>,
+}
+
+unsafe impl<T: Send> Send for MsQueue<T> {}
+unsafe impl<T: Send> Sync for MsQueue<T> {}
+
+impl<T> MsQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        let dummy = Node::dummy();
+        MsQueue {
+            head: CachePadded::new(AtomicPtr::new(dummy)),
+            tail: CachePadded::new(AtomicPtr::new(dummy)),
+        }
+    }
+
+    /// Adds `value` to the tail of the queue.
+    ///
+    /// Lock-free: a stalled thread cannot prevent others from enqueueing.
+    pub fn enqueue(&self, value: T) {
+        let node = Box::into_raw(Box::new(Node {
+            value: MaybeUninit::new(value),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }));
+        let mut hazard = PooledHazard::acquire(&GLOBAL_DOMAIN);
+        loop {
+            // Protect Tail so dereferencing it for `next` is safe even if a
+            // concurrent dequeue retires the node.
+            let tail = hazard.protect(&self.tail);
+            // Safety: protected and re-validated against self.tail.
+            let next = unsafe { (*tail).next.load(Ordering::Acquire) };
+            if self.tail.load(Ordering::Acquire) != tail {
+                continue;
+            }
+            if next.is_null() {
+                // Tail was pointing at the last node: link ours (E9).
+                if unsafe { &(*tail).next }
+                    .compare_exchange(
+                        ptr::null_mut(),
+                        node,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    // E13: swing Tail to the inserted node (best effort).
+                    let _ = self.tail.compare_exchange(
+                        tail,
+                        node,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                    return;
+                }
+            } else {
+                // E12: help a lagging Tail forward.
+                let _ =
+                    self.tail
+                        .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Removes and returns the value at the head of the queue, or `None`
+    /// if it is observed empty.
+    pub fn dequeue(&self) -> Option<T> {
+        let mut head_hazard = PooledHazard::acquire(&GLOBAL_DOMAIN);
+        let mut next_hazard = PooledHazard::acquire(&GLOBAL_DOMAIN);
+        loop {
+            let head = head_hazard.protect(&self.head);
+            let tail = self.tail.load(Ordering::Acquire);
+            // Safety: head is protected and re-validated below.
+            let next = unsafe { (*head).next.load(Ordering::Acquire) };
+            // Protect next, then re-validate head: if Head is unchanged,
+            // `next` is still Head's successor, hence reachable and now
+            // protected.
+            next_hazard.protect_raw(next);
+            if self.head.load(Ordering::SeqCst) != head {
+                continue;
+            }
+            if next.is_null() {
+                // Queue empty (Head == Tail == dummy with no successor).
+                return None;
+            }
+            if head == tail {
+                // Tail is falling behind (D9): help it.
+                let _ =
+                    self.tail
+                        .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
+                continue;
+            }
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // We won: `next` is the new dummy and its value is ours to
+                // move out. Unlike the arena version (which must read the
+                // value before the CAS), hazard protection makes the node
+                // stable until our guards drop.
+                // Safety: exactly one dequeuer wins this CAS, so the value
+                // is moved out exactly once; `next` is protected.
+                let value = unsafe { ptr::read((*next).value.as_ptr()) };
+                drop(head_hazard);
+                drop(next_hazard);
+                // Safety: `head` is unlinked (Head moved past it), was
+                // allocated by Box::into_raw, and is retired exactly once.
+                // Its value slot is a stale dummy slot — already moved out
+                // by the dequeue that made it dummy (or never initialized),
+                // so dropping the box must not drop a T; Node's value is
+                // MaybeUninit so Box::from_raw drops only the allocation.
+                unsafe { GLOBAL_DOMAIN.retire(head) };
+                return Some(value);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Whether the queue was observed empty. Like every concurrent size
+    /// probe this is a snapshot: it may be stale by the time it returns.
+    pub fn is_empty(&self) -> bool {
+        let mut head_hazard = PooledHazard::acquire(&GLOBAL_DOMAIN);
+        loop {
+            let head = head_hazard.protect(&self.head);
+            // Safety: protected head.
+            let next = unsafe { (*head).next.load(Ordering::Acquire) };
+            if self.head.load(Ordering::Acquire) == head {
+                return next.is_null();
+            }
+        }
+    }
+}
+
+impl<T> Default for MsQueue<T> {
+    fn default() -> Self {
+        MsQueue::new()
+    }
+}
+
+impl<T> Drop for MsQueue<T> {
+    fn drop(&mut self) {
+        // Exclusive access: walk the list, dropping every remaining value
+        // and node, then the dummy.
+        let mut node = self.head.load(Ordering::Relaxed);
+        let mut is_dummy = true;
+        while !node.is_null() {
+            // Safety: exclusive access during drop.
+            let boxed = unsafe { Box::from_raw(node) };
+            let next = boxed.next.load(Ordering::Relaxed);
+            if !is_dummy {
+                // Safety: every non-dummy node holds an initialized value.
+                unsafe { ptr::drop_in_place(boxed.value.as_ptr().cast_mut()) };
+            }
+            is_dummy = false;
+            node = next;
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for MsQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MsQueue(empty={})", self.is_empty())
+    }
+}
+
+impl<T: Send> FromIterator<T> for MsQueue<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let queue = MsQueue::new();
+        for value in iter {
+            queue.enqueue(value);
+        }
+        queue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = MsQueue::new();
+        for i in 0..100 {
+            q.enqueue(i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn is_empty_tracks_contents() {
+        let q = MsQueue::new();
+        assert!(q.is_empty());
+        q.enqueue(1);
+        assert!(!q.is_empty());
+        q.dequeue();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn works_with_owned_types() {
+        let q = MsQueue::new();
+        q.enqueue(String::from("hello"));
+        q.enqueue(String::from("world"));
+        assert_eq!(q.dequeue().as_deref(), Some("hello"));
+        assert_eq!(q.dequeue().as_deref(), Some("world"));
+    }
+
+    #[test]
+    fn from_iterator_collects_in_order() {
+        let q: MsQueue<i32> = (0..5).collect();
+        for i in 0..5 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+    }
+
+    #[test]
+    fn drop_releases_remaining_values() {
+        struct Tracked(Arc<AtomicU64>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicU64::new(0));
+        {
+            let q = MsQueue::new();
+            for _ in 0..10 {
+                q.enqueue(Tracked(Arc::clone(&drops)));
+            }
+            drop(q.dequeue()); // one dropped by us
+            assert_eq!(drops.load(Ordering::SeqCst), 1);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 10, "queue drop released 9");
+    }
+
+    #[test]
+    fn mpmc_stress() {
+        let q = Arc::new(MsQueue::new());
+        let produced_per_thread = 10_000_u64;
+        let producers = 4_u64;
+        let consumed = Arc::new(AtomicU64::new(0));
+        let sum = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..producers {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..produced_per_thread {
+                    q.enqueue(t * produced_per_thread + i + 1);
+                }
+            }));
+        }
+        let total = producers * produced_per_thread;
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            let consumed = Arc::clone(&consumed);
+            let sum = Arc::clone(&sum);
+            handles.push(std::thread::spawn(move || {
+                while consumed.load(Ordering::SeqCst) < total {
+                    if let Some(v) = q.dequeue() {
+                        sum.fetch_add(v, Ordering::SeqCst);
+                        consumed.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sum.load(Ordering::SeqCst), (1..=total).sum::<u64>());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn per_producer_order_preserved_under_concurrency() {
+        let q = Arc::new(MsQueue::new());
+        let mut handles = Vec::new();
+        for t in 0..3_u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5_000_u64 {
+                    q.enqueue((t << 32) | i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut last = [None::<u64>; 3];
+        while let Some(v) = q.dequeue() {
+            let producer = (v >> 32) as usize;
+            let seq = v & 0xffff_ffff;
+            if let Some(prev) = last[producer] {
+                assert!(seq > prev);
+            }
+            last[producer] = Some(seq);
+        }
+    }
+}

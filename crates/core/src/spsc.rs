@@ -1,0 +1,292 @@
+//! A typed, statically-enforced single-producer/single-consumer ring.
+//!
+//! Lamport's 1983 queue (the paper's restricted-concurrency baseline,
+//! word-valued in `msq_baselines::LamportQueue`) done the Rust way: the
+//! SPSC restriction is not a documentation footnote but a property of the
+//! types — [`channel`] returns a [`Producer`] and a [`Consumer`], each
+//! usable from one thread at a time, with no atomic read-modify-write
+//! anywhere (both endpoints are wait-free).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+
+struct Inner<T> {
+    buffer: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot to read; owned by the consumer, read by the producer.
+    head: CachePadded<AtomicU64>,
+    /// Next slot to write; owned by the producer, read by the consumer.
+    tail: CachePadded<AtomicU64>,
+}
+
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Inner<T> {
+    fn slot(&self, index: u64) -> *mut MaybeUninit<T> {
+        self.buffer[(index % self.buffer.len() as u64) as usize].get()
+    }
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Both endpoints are gone; head/tail are quiescent and exact.
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        for index in head..tail {
+            // Safety: slots in [head, tail) hold initialized values that
+            // were never popped.
+            unsafe { (*self.slot(index)).assume_init_drop() };
+        }
+    }
+}
+
+/// Creates a wait-free SPSC channel holding at most `capacity` in-flight
+/// values.
+///
+/// # Panics
+///
+/// Panics if `capacity` is 0.
+///
+/// # Example
+///
+/// ```
+/// let (mut tx, mut rx) = msq_core::spsc_channel(8);
+/// std::thread::spawn(move || {
+///     for i in 0..100 {
+///         let mut v = i;
+///         loop {
+///             match tx.push(v) {
+///                 Ok(()) => break,
+///                 Err(back) => v = back, // ring full; retry
+///             }
+///         }
+///     }
+/// });
+/// let mut received = 0;
+/// while received < 100 {
+///     if let Some(v) = rx.pop() {
+///         assert_eq!(v, received);
+///         received += 1;
+///     }
+/// }
+/// ```
+pub fn channel<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "ring capacity must be positive");
+    let inner = Arc::new(Inner {
+        buffer: (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect(),
+        head: CachePadded::new(AtomicU64::new(0)),
+        tail: CachePadded::new(AtomicU64::new(0)),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+            cached_head: 0,
+        },
+        Consumer {
+            inner,
+            cached_tail: 0,
+        },
+    )
+}
+
+/// The sending half of an SPSC channel; see [`channel`].
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+    /// Consumer position as last observed; refreshed only when the ring
+    /// looks full, halving the producer's shared loads in steady state.
+    cached_head: u64,
+}
+
+impl<T: Send> Producer<T> {
+    /// Appends `value`, or hands it back if the ring is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` when `capacity` values are already in flight.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        let capacity = self.inner.buffer.len() as u64;
+        if tail.wrapping_sub(self.cached_head) >= capacity {
+            self.cached_head = self.inner.head.load(Ordering::Acquire);
+            if tail.wrapping_sub(self.cached_head) >= capacity {
+                return Err(value);
+            }
+        }
+        // Safety: slot `tail` is outside [head, tail) — unoccupied, and
+        // the consumer cannot read it until the tail store below.
+        unsafe { (*self.inner.slot(tail)).write(value) };
+        self.inner.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of values currently in flight (may be stale).
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        let head = self.inner.head.load(Ordering::Acquire);
+        tail.wrapping_sub(head) as usize
+    }
+
+    /// Whether the ring was observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.buffer.len()
+    }
+}
+
+impl<T> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "spsc::Producer(capacity={})", self.inner.buffer.len())
+    }
+}
+
+/// The receiving half of an SPSC channel; see [`channel`].
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+    /// Producer position as last observed; refreshed only when the ring
+    /// looks empty.
+    cached_tail: u64,
+}
+
+impl<T: Send> Consumer<T> {
+    /// Removes the oldest value, or `None` if the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let head = self.inner.head.load(Ordering::Relaxed);
+        if head == self.cached_tail {
+            self.cached_tail = self.inner.tail.load(Ordering::Acquire);
+            if head == self.cached_tail {
+                return None;
+            }
+        }
+        // Safety: slot `head` is inside [head, tail) — initialized, and
+        // the producer cannot overwrite it until the head store below.
+        let value = unsafe { (*self.inner.slot(head)).assume_init_read() };
+        self.inner.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Number of values currently in flight (may be stale).
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Acquire);
+        let head = self.inner.head.load(Ordering::Relaxed);
+        tail.wrapping_sub(head) as usize
+    }
+
+    /// Whether the ring was observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "spsc::Consumer(capacity={})", self.inner.buffer.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_round_trip() {
+        let (mut tx, mut rx) = channel(4);
+        assert!(rx.pop().is_none());
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn full_ring_returns_value() {
+        let (mut tx, mut rx) = channel(2);
+        tx.push(10).unwrap();
+        tx.push(20).unwrap();
+        assert_eq!(tx.push(30), Err(30));
+        assert_eq!(rx.pop(), Some(10));
+        tx.push(30).unwrap();
+        assert_eq!(tx.len(), 2);
+    }
+
+    #[test]
+    fn wraps_many_times() {
+        let (mut tx, mut rx) = channel(3);
+        for i in 0..10_000 {
+            tx.push(i).unwrap();
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert!(tx.is_empty());
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_in_flight_values() {
+        use std::sync::atomic::AtomicU64;
+        struct Tracked(Arc<AtomicU64>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicU64::new(0));
+        {
+            let (mut tx, mut rx) = channel(8);
+            for _ in 0..5 {
+                tx.push(Tracked(Arc::clone(&drops))).ok().unwrap();
+            }
+            drop(rx.pop()); // one consumed and dropped
+            assert_eq!(drops.load(Ordering::SeqCst), 1);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 5, "ring drop released 4");
+    }
+
+    #[test]
+    fn cross_thread_streaming_preserves_order() {
+        let (mut tx, mut rx) = channel(16);
+        let producer = std::thread::spawn(move || {
+            for i in 0..30_000_u64 {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let consumer = std::thread::spawn(move || {
+            for expected in 0..30_000_u64 {
+                loop {
+                    if let Some(v) = rx.pop() {
+                        assert_eq!(v, expected);
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        producer.join().unwrap();
+        consumer.join().unwrap();
+    }
+
+    #[test]
+    fn owned_types_work() {
+        let (mut tx, mut rx) = channel(2);
+        tx.push(String::from("a")).unwrap();
+        assert_eq!(rx.pop().as_deref(), Some("a"));
+    }
+}

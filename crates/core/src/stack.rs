@@ -1,0 +1,265 @@
+//! `LockFreeStack<T>`: Treiber's stack, heap-allocated and generic.
+//!
+//! Treiber's non-blocking stack is load-bearing throughout the paper (it
+//! implements the free list both there and in `msq-arena`); this is the
+//! idiomatic counterpart for downstream users, with hazard-pointer
+//! reclamation instead of the arena's counted indices.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+use crossbeam_utils::CachePadded;
+use msq_hazard::{PooledHazard, GLOBAL_DOMAIN};
+
+struct Node<T> {
+    value: T,
+    next: *mut Node<T>,
+}
+
+/// An unbounded lock-free LIFO stack for any `Send` payload.
+///
+/// # Example
+///
+/// ```
+/// use msq_core::LockFreeStack;
+///
+/// let stack = LockFreeStack::new();
+/// stack.push(1);
+/// stack.push(2);
+/// assert_eq!(stack.pop(), Some(2));
+/// assert_eq!(stack.pop(), Some(1));
+/// assert_eq!(stack.pop(), None);
+/// ```
+pub struct LockFreeStack<T> {
+    top: CachePadded<AtomicPtr<Node<T>>>,
+}
+
+unsafe impl<T: Send> Send for LockFreeStack<T> {}
+unsafe impl<T: Send> Sync for LockFreeStack<T> {}
+
+impl<T> LockFreeStack<T> {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        LockFreeStack {
+            top: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+        }
+    }
+
+    /// Pushes `value`. Lock-free.
+    pub fn push(&self, value: T) {
+        let node = Box::into_raw(Box::new(Node {
+            value,
+            next: ptr::null_mut(),
+        }));
+        loop {
+            let top = self.top.load(Ordering::Acquire);
+            // Safety: `node` is ours until the CAS publishes it.
+            unsafe { (*node).next = top };
+            if self
+                .top
+                .compare_exchange(top, node, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Pops the most recently pushed value, or `None` if empty. Lock-free.
+    pub fn pop(&self) -> Option<T> {
+        let mut hazard = PooledHazard::acquire(&GLOBAL_DOMAIN);
+        loop {
+            let top = hazard.protect(&self.top);
+            if top.is_null() {
+                return None;
+            }
+            // Safety: protected, so `top` cannot be freed under us; its
+            // `next` field is immutable after publication.
+            let next = unsafe { (*top).next };
+            if self
+                .top
+                .compare_exchange(top, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // Safety: we unlinked `top`; exactly one popper wins the
+                // CAS, moves the value out, and retires the node.
+                let value = unsafe { ptr::read(&(*top).value) };
+                drop(hazard);
+                // The value was moved out above, so the deferred destructor
+                // must free the allocation WITHOUT dropping a T.
+                unsafe fn free_allocation_only<T>(p: *mut u8) {
+                    // Safety (caller): p came from Box::into_raw of a
+                    // Node<T> whose value was moved out; ManuallyDrop has
+                    // the same layout and suppresses the field drop.
+                    unsafe {
+                        drop(Box::from_raw(
+                            p.cast::<std::mem::ManuallyDrop<Node<T>>>(),
+                        ))
+                    };
+                }
+                unsafe { GLOBAL_DOMAIN.retire_with(top.cast::<u8>(), free_allocation_only::<T>) };
+                return Some(value);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Whether the stack was observed empty (snapshot semantics).
+    pub fn is_empty(&self) -> bool {
+        self.top.load(Ordering::Acquire).is_null()
+    }
+}
+
+impl<T> Default for LockFreeStack<T> {
+    fn default() -> Self {
+        LockFreeStack::new()
+    }
+}
+
+impl<T> Drop for LockFreeStack<T> {
+    fn drop(&mut self) {
+        let mut node = self.top.load(Ordering::Relaxed);
+        while !node.is_null() {
+            // Safety: exclusive access during drop; values in remaining
+            // nodes were never moved out.
+            let boxed = unsafe { Box::from_raw(node) };
+            node = boxed.next;
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for LockFreeStack<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LockFreeStack(empty={})", self.is_empty())
+    }
+}
+
+impl<T: Send> FromIterator<T> for LockFreeStack<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let stack = LockFreeStack::new();
+        for value in iter {
+            stack.push(value);
+        }
+        stack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_order() {
+        let s = LockFreeStack::new();
+        for i in 0..10 {
+            s.push(i);
+        }
+        for i in (0..10).rev() {
+            assert_eq!(s.pop(), Some(i));
+        }
+        assert_eq!(s.pop(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn owned_values_round_trip() {
+        let s = LockFreeStack::new();
+        s.push(String::from("deep"));
+        s.push(String::from("top"));
+        assert_eq!(s.pop().as_deref(), Some("top"));
+        assert_eq!(s.pop().as_deref(), Some("deep"));
+    }
+
+    #[test]
+    fn drop_releases_remaining_values() {
+        struct Tracked(Arc<AtomicU64>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicU64::new(0));
+        {
+            let s = LockFreeStack::new();
+            for _ in 0..5 {
+                s.push(Tracked(Arc::clone(&drops)));
+            }
+            drop(s.pop());
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn popped_values_drop_exactly_once() {
+        struct Tracked(Arc<AtomicU64>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicU64::new(0));
+        let s = Arc::new(LockFreeStack::new());
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let s = Arc::clone(&s);
+            let drops = Arc::clone(&drops);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    s.push(Tracked(Arc::clone(&drops)));
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    while s.pop().is_none() {
+                        std::hint::spin_loop();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(s.is_empty());
+        assert_eq!(drops.load(Ordering::SeqCst), 4_000, "each value dropped once");
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves() {
+        let s = Arc::new(LockFreeStack::new());
+        let sum = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..3_u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5_000_u64 {
+                    s.push(t * 5_000 + i + 1);
+                }
+            }));
+        }
+        for _ in 0..3 {
+            let s = Arc::clone(&s);
+            let sum = Arc::clone(&sum);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5_000 {
+                    loop {
+                        if let Some(v) = s.pop() {
+                            sum.fetch_add(v, Ordering::SeqCst);
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sum.load(Ordering::SeqCst), (1..=15_000_u64).sum::<u64>());
+    }
+}

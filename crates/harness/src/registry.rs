@@ -1,0 +1,123 @@
+//! The algorithm registry: every queue in the paper's evaluation.
+
+use std::sync::Arc;
+
+use msq_baselines::{McQueue, PljQueue, SingleLockQueue, ValoisQueue};
+use msq_core::{WordMsQueue, WordTwoLockQueue};
+use msq_platform::{ConcurrentWordQueue, Platform};
+
+/// The six algorithms of Figures 3–5, in the paper's legend order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// "Single lock": one TTAS lock around both queue ends.
+    SingleLock,
+    /// "MC lock-free": Mellor-Crummey's swap-based (blocking) queue.
+    MellorCrummey,
+    /// "Valois non-blocking": reference-counted, lagging-tail queue.
+    Valois,
+    /// "new two-lock": the paper's Figure 2 algorithm.
+    NewTwoLock,
+    /// "PLJ non-blocking": Prakash–Lee–Johnson snapshot queue.
+    PljNonBlocking,
+    /// "new non-blocking": the paper's Figure 1 algorithm.
+    NewNonBlocking,
+}
+
+impl Algorithm {
+    /// All algorithms in the paper's legend order.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::SingleLock,
+        Algorithm::MellorCrummey,
+        Algorithm::Valois,
+        Algorithm::NewTwoLock,
+        Algorithm::PljNonBlocking,
+        Algorithm::NewNonBlocking,
+    ];
+
+    /// The label used in figures and CSV headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::SingleLock => "single-lock",
+            Algorithm::MellorCrummey => "mellor-crummey",
+            Algorithm::Valois => "valois",
+            Algorithm::NewTwoLock => "new-two-lock",
+            Algorithm::PljNonBlocking => "plj-nonblocking",
+            Algorithm::NewNonBlocking => "new-nonblocking",
+        }
+    }
+
+    /// Parses a label back into an algorithm.
+    pub fn from_label(label: &str) -> Option<Algorithm> {
+        Algorithm::ALL.into_iter().find(|a| a.label() == label)
+    }
+
+    /// Whether the algorithm is non-blocking in the paper's sense.
+    pub fn is_nonblocking(self) -> bool {
+        matches!(
+            self,
+            Algorithm::Valois | Algorithm::PljNonBlocking | Algorithm::NewNonBlocking
+        )
+    }
+
+    /// Constructs the queue over any platform with the given capacity.
+    pub fn build<P: Platform>(
+        self,
+        platform: &P,
+        capacity: u32,
+    ) -> Arc<dyn ConcurrentWordQueue> {
+        match self {
+            Algorithm::SingleLock => Arc::new(SingleLockQueue::with_capacity(platform, capacity)),
+            Algorithm::MellorCrummey => Arc::new(McQueue::with_capacity(platform, capacity)),
+            Algorithm::Valois => Arc::new(ValoisQueue::with_capacity(platform, capacity)),
+            Algorithm::NewTwoLock => Arc::new(WordTwoLockQueue::with_capacity(platform, capacity)),
+            Algorithm::PljNonBlocking => Arc::new(PljQueue::with_capacity(platform, capacity)),
+            Algorithm::NewNonBlocking => Arc::new(WordMsQueue::with_capacity(platform, capacity)),
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msq_platform::NativePlatform;
+
+    #[test]
+    fn all_algorithms_build_and_work() {
+        let platform = NativePlatform::new();
+        for alg in Algorithm::ALL {
+            let q = alg.build(&platform, 16);
+            q.enqueue(42).unwrap();
+            assert_eq!(q.dequeue(), Some(42), "{alg} round trip");
+            assert_eq!(q.dequeue(), None, "{alg} empty");
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for alg in Algorithm::ALL {
+            assert_eq!(Algorithm::from_label(alg.label()), Some(alg));
+        }
+        assert_eq!(Algorithm::from_label("nope"), None);
+    }
+
+    #[test]
+    fn nonblocking_flags_match_implementations() {
+        let platform = NativePlatform::new();
+        for alg in Algorithm::ALL {
+            let q = alg.build(&platform, 4);
+            assert_eq!(q.is_nonblocking(), alg.is_nonblocking(), "{alg}");
+        }
+    }
+
+    #[test]
+    fn legend_order_matches_paper() {
+        assert_eq!(Algorithm::ALL[0], Algorithm::SingleLock);
+        assert_eq!(Algorithm::ALL[5], Algorithm::NewNonBlocking);
+    }
+}

@@ -1,0 +1,267 @@
+//! Exhaustive linearizability checking (Wing & Gong's algorithm).
+
+use std::collections::HashSet;
+
+use crate::history::{Event, Operation};
+use crate::spec::SequentialQueue;
+
+/// Decides whether `events` is linearizable with respect to the sequential
+/// FIFO queue specification.
+///
+/// Implements the Wing–Gong search: repeatedly pick a *minimal* pending
+/// operation (one whose invocation precedes every pending response), apply
+/// it to the specification, and backtrack on mismatch. Memoizes
+/// `(completed-set, spec-state)` pairs, which makes typical histories of a
+/// few dozen events tractable; the search is exponential in the worst
+/// case, so callers keep histories small (the integration tests use
+/// windows of ≤ 20 operations).
+///
+/// # Panics
+///
+/// Panics if `events` contains more than 64 operations (the memoization
+/// mask is a `u64`).
+///
+/// # Example
+///
+/// ```
+/// use msq_linearize::{is_linearizable_queue, Event, Operation};
+///
+/// let history = [
+///     Event { process: 0, operation: Operation::Enqueue(1), invoked_at: 0, returned_at: 3 },
+///     Event { process: 1, operation: Operation::Dequeue(Some(1)), invoked_at: 1, returned_at: 2 },
+/// ];
+/// assert!(is_linearizable_queue(&history));
+/// ```
+pub fn is_linearizable_queue(events: &[Event]) -> bool {
+    assert!(events.len() <= 64, "history too large for exhaustive check");
+    if events.is_empty() {
+        return true;
+    }
+    let mut memo = HashSet::new();
+    search(events, 0, &SequentialQueue::new(), &mut memo)
+}
+
+fn search(
+    events: &[Event],
+    done: u64,
+    spec: &SequentialQueue,
+    memo: &mut HashSet<(u64, Vec<u64>)>,
+) -> bool {
+    if done.count_ones() as usize == events.len() {
+        return true;
+    }
+    if !memo.insert((done, spec.items().collect())) {
+        return false; // already explored this configuration
+    }
+    // A pending op is minimal if its invocation precedes every pending
+    // response; only minimal ops may be linearized next.
+    let min_pending_return = events
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| done & (1 << i) == 0)
+        .map(|(_, e)| e.returned_at)
+        .min()
+        .expect("at least one pending");
+    for (i, event) in events.iter().enumerate() {
+        if done & (1 << i) != 0 || event.invoked_at > min_pending_return {
+            continue;
+        }
+        let mut next_spec = spec.clone();
+        let consistent = match event.operation {
+            Operation::Enqueue(v) => {
+                next_spec.enqueue(v);
+                true
+            }
+            Operation::Dequeue(expected) => next_spec.dequeue() == expected,
+        };
+        if consistent && search(events, done | (1 << i), &next_spec, memo) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(operation: Operation, invoked_at: u64, returned_at: u64) -> Event {
+        Event {
+            process: 0,
+            operation,
+            invoked_at,
+            returned_at,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(is_linearizable_queue(&[]));
+    }
+
+    #[test]
+    fn sequential_fifo_is_linearizable() {
+        let h = [
+            ev(Operation::Enqueue(1), 0, 1),
+            ev(Operation::Enqueue(2), 2, 3),
+            ev(Operation::Dequeue(Some(1)), 4, 5),
+            ev(Operation::Dequeue(Some(2)), 6, 7),
+            ev(Operation::Dequeue(None), 8, 9),
+        ];
+        assert!(is_linearizable_queue(&h));
+    }
+
+    #[test]
+    fn sequential_lifo_is_not_linearizable() {
+        let h = [
+            ev(Operation::Enqueue(1), 0, 1),
+            ev(Operation::Enqueue(2), 2, 3),
+            ev(Operation::Dequeue(Some(2)), 4, 5),
+        ];
+        assert!(!is_linearizable_queue(&h));
+    }
+
+    #[test]
+    fn overlapping_enqueues_permit_either_order() {
+        let h = [
+            ev(Operation::Enqueue(1), 0, 10),
+            ev(Operation::Enqueue(2), 1, 9),
+            ev(Operation::Dequeue(Some(2)), 11, 12),
+            ev(Operation::Dequeue(Some(1)), 13, 14),
+        ];
+        assert!(is_linearizable_queue(&h));
+    }
+
+    #[test]
+    fn dequeue_none_must_be_justifiable() {
+        // Dequeue(None) strictly after an unmatched enqueue completed and
+        // with nothing else removing the value: not linearizable.
+        let h = [
+            ev(Operation::Enqueue(1), 0, 1),
+            ev(Operation::Dequeue(None), 2, 3),
+            ev(Operation::Dequeue(Some(1)), 4, 5),
+        ];
+        assert!(!is_linearizable_queue(&h));
+    }
+
+    #[test]
+    fn dequeue_none_overlapping_enqueue_is_fine() {
+        // The empty observation can linearize before the overlapping
+        // enqueue takes effect.
+        let h = [
+            ev(Operation::Enqueue(1), 0, 5),
+            ev(Operation::Dequeue(None), 1, 2),
+            ev(Operation::Dequeue(Some(1)), 6, 7),
+        ];
+        assert!(is_linearizable_queue(&h));
+    }
+
+    #[test]
+    fn stone_style_lost_value_is_caught() {
+        // The race the paper found in Stone's queue: an item is enqueued
+        // (operation completed) and then never dequeued, while later
+        // operations observe empty. A full drain observing None after the
+        // enqueue completed cannot linearize.
+        let h = [
+            ev(Operation::Enqueue(7), 0, 1),
+            ev(Operation::Dequeue(None), 2, 3),
+            ev(Operation::Dequeue(None), 4, 5),
+        ];
+        assert!(!is_linearizable_queue(&h));
+    }
+
+    #[test]
+    fn pending_overlap_three_processes() {
+        // Three overlapping operations with only one valid linearization.
+        let h = [
+            ev(Operation::Enqueue(1), 0, 6),
+            ev(Operation::Enqueue(2), 0, 6),
+            ev(Operation::Dequeue(Some(2)), 0, 6),
+        ];
+        // deq(2) requires enq(2) before it; enq(1) can go anywhere.
+        assert!(is_linearizable_queue(&h));
+    }
+
+    #[test]
+    fn respects_realtime_order() {
+        // deq returns before enq begins: the dequeue cannot see the value.
+        let h = [
+            ev(Operation::Dequeue(Some(1)), 0, 1),
+            ev(Operation::Enqueue(1), 2, 3),
+        ];
+        assert!(!is_linearizable_queue(&h));
+    }
+
+    #[test]
+    #[should_panic(expected = "history too large")]
+    fn oversized_history_is_rejected() {
+        let h: Vec<Event> = (0..65)
+            .map(|i| ev(Operation::Enqueue(i), i * 2, i * 2 + 1))
+            .collect();
+        is_linearizable_queue(&h);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::spec::SequentialQueue;
+    use proptest::prelude::*;
+
+    /// Builds a correct sequential history from a random op script, then
+    /// randomly *stretches* each operation's interval leftward (keeping
+    /// the response order). A sequential witness still exists, so the
+    /// stretched, overlapping history must remain linearizable.
+    fn correct_history(script: &[Option<u64>], stretches: &[u64]) -> Vec<Event> {
+        let mut spec = SequentialQueue::new();
+        let mut events = Vec::new();
+        for (i, op) in script.iter().enumerate() {
+            let t = (i as u64) * 10;
+            let stretch = stretches.get(i).copied().unwrap_or(0) % (t + 1);
+            let (invoked_at, returned_at) = (t - stretch.min(t), t + 5);
+            let operation = match op {
+                Some(v) => {
+                    spec.enqueue(*v);
+                    Operation::Enqueue(*v)
+                }
+                None => Operation::Dequeue(spec.dequeue()),
+            };
+            events.push(Event {
+                process: i % 3,
+                operation,
+                invoked_at,
+                returned_at,
+            });
+        }
+        events
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn correct_histories_are_linearizable(
+            script in prop::collection::vec(prop::option::of(0u64..50), 0..12),
+            stretches in prop::collection::vec(0u64..100, 0..12),
+        ) {
+            let events = correct_history(&script, &stretches);
+            prop_assert!(is_linearizable_queue(&events));
+        }
+
+        #[test]
+        fn lifo_misorder_of_nonoverlapping_enqueues_is_rejected(
+            gap in 1u64..10,
+            a in 0u64..100,
+            b in 100u64..200,
+        ) {
+            // enq(a) strictly precedes enq(b); dequeuing b first from a
+            // 2-element queue can never linearize.
+            let events = [
+                Event { process: 0, operation: Operation::Enqueue(a), invoked_at: 0, returned_at: 1 },
+                Event { process: 0, operation: Operation::Enqueue(b), invoked_at: 1 + gap, returned_at: 2 + gap },
+                Event { process: 1, operation: Operation::Dequeue(Some(b)), invoked_at: 10 + gap, returned_at: 11 + gap },
+            ];
+            prop_assert!(!is_linearizable_queue(&events));
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The sequential FIFO specification.
+
+use std::collections::VecDeque;
+
+/// The abstract queue the concurrent implementations must be equivalent
+/// to: a plain FIFO with `enqueue` and `dequeue -> Option<u64>`.
+///
+/// Used as the oracle by the Wing–Gong checker and by the property-based
+/// model tests.
+///
+/// # Example
+///
+/// ```
+/// use msq_linearize::SequentialQueue;
+///
+/// let mut spec = SequentialQueue::new();
+/// spec.enqueue(1);
+/// spec.enqueue(2);
+/// assert_eq!(spec.dequeue(), Some(1));
+/// assert_eq!(spec.dequeue(), Some(2));
+/// assert_eq!(spec.dequeue(), None);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct SequentialQueue {
+    items: VecDeque<u64>,
+}
+
+impl SequentialQueue {
+    /// Creates an empty specification queue.
+    pub fn new() -> Self {
+        SequentialQueue::default()
+    }
+
+    /// Appends `value` at the tail.
+    pub fn enqueue(&mut self, value: u64) {
+        self.items.push_back(value);
+    }
+
+    /// Removes the head value, or `None` when empty.
+    pub fn dequeue(&mut self) -> Option<u64> {
+        self.items.pop_front()
+    }
+
+    /// Number of queued values.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The queued values, head first.
+    pub fn items(&self) -> impl Iterator<Item = u64> + '_ {
+        self.items.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_semantics() {
+        let mut q = SequentialQueue::new();
+        assert!(q.is_empty());
+        q.enqueue(10);
+        q.enqueue(20);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.items().collect::<Vec<_>>(), vec![10, 20]);
+        assert_eq!(q.dequeue(), Some(10));
+        assert_eq!(q.dequeue(), Some(20));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn clone_and_eq_support_memoization() {
+        let mut a = SequentialQueue::new();
+        a.enqueue(1);
+        let b = a.clone();
+        assert_eq!(a, b);
+        a.dequeue();
+        assert_ne!(a, b);
+    }
+}

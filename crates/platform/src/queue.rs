@@ -1,0 +1,86 @@
+//! Common interfaces for the word-valued concurrent data structures used in
+//! the experiments.
+
+use core::fmt;
+
+/// Error returned when a bounded structure (arena-backed queue, ring) cannot
+/// accept another element. Carries the rejected value back to the caller.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull(pub u64);
+
+impl fmt::Debug for QueueFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QueueFull({})", self.0)
+    }
+}
+
+impl fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "queue storage exhausted; value {} not enqueued", self.0)
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// A multi-producer multi-consumer FIFO queue of `u64` values.
+///
+/// All six algorithms in the paper's evaluation implement this trait
+/// (generic over [`crate::Platform`]), which is what lets the harness drive
+/// them interchangeably on native threads and in the simulator.
+///
+/// Implementations must be linearizable FIFO queues **except** where a
+/// baseline is documented otherwise (Lamport's ring is single-producer /
+/// single-consumer; callers uphold that restriction).
+pub trait ConcurrentWordQueue: Send + Sync {
+    /// Adds `value` at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] if the queue's node storage is exhausted (the
+    /// arenas in this reproduction are fixed-capacity, like the paper's
+    /// pre-allocated free lists).
+    fn enqueue(&self, value: u64) -> Result<(), QueueFull>;
+
+    /// Removes and returns the value at the head, or `None` if the queue is
+    /// observed empty.
+    fn dequeue(&self) -> Option<u64>;
+
+    /// A short stable identifier used in reports (e.g. `"ms-nonblocking"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether the implementation is non-blocking in the paper's sense: a
+    /// stalled process cannot prevent others from completing operations.
+    fn is_nonblocking(&self) -> bool;
+}
+
+/// A last-in first-out stack of `u64` values (Treiber's algorithm backs the
+/// paper's free list and is exposed as a structure in its own right).
+pub trait ConcurrentStack: Send + Sync {
+    /// Pushes `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] if node storage is exhausted.
+    fn push(&self, value: u64) -> Result<(), QueueFull>;
+
+    /// Pops the most recently pushed value, or `None` if empty.
+    fn pop(&self) -> Option<u64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_full_displays_value() {
+        let e = QueueFull(17);
+        assert!(e.to_string().contains("17"));
+        assert!(format!("{e:?}").contains("17"));
+    }
+
+    #[test]
+    fn queue_full_is_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(QueueFull(0));
+    }
+}

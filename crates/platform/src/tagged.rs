@@ -1,0 +1,165 @@
+//! Counted ("tagged") pointers packed into a single 64-bit word.
+//!
+//! The paper's ABA defence associates a modification counter with every
+//! pointer and requires the pair to be read and CASed together. It names two
+//! ways to do that: a double-word CAS, or "use array indices instead of
+//! pointers, so that they may share a single word with a counter". This
+//! module implements the second option: a [`Tagged`] word packs a 32-bit
+//! node index (into a `msq_arena::NodeArena`) with a 32-bit modification
+//! counter, so plain single-word CAS on an [`crate::AtomicWord`] updates
+//! both atomically.
+
+use core::fmt;
+
+/// The index value that plays the role of a NULL pointer.
+///
+/// Arenas therefore hold at most `u32::MAX - 1` nodes, far beyond any
+/// configuration in the experiments.
+pub const NULL_INDEX: u32 = u32::MAX;
+
+/// A `{index: u32, tag: u32}` pair packed into one word.
+///
+/// `tag` is the modification counter from the paper; every successful CAS
+/// that installs a new value stores `tag + 1` (wrapping), making an ABA
+/// sequence visible to any in-flight reader that still holds the old word.
+///
+/// # Example
+///
+/// ```
+/// use msq_platform::{Tagged, NULL_INDEX};
+///
+/// let t = Tagged::new(42, 7);
+/// assert_eq!(t.index(), 42);
+/// assert_eq!(t.tag(), 7);
+/// let bumped = t.with_index(NULL_INDEX);
+/// assert_eq!(bumped.tag(), 8);
+/// assert!(bumped.is_null());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tagged(u64);
+
+impl Tagged {
+    /// A null pointer with tag 0; the conventional initial value.
+    pub const NULL: Tagged = Tagged::new(NULL_INDEX, 0);
+
+    /// Packs `index` and `tag` into a tagged word.
+    #[inline]
+    pub const fn new(index: u32, tag: u32) -> Self {
+        Tagged(((tag as u64) << 32) | index as u64)
+    }
+
+    /// Reinterprets a raw word previously produced by [`Tagged::raw`].
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Self {
+        Tagged(raw)
+    }
+
+    /// The raw packed word, suitable for storing in an [`crate::AtomicWord`].
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The node index (or [`NULL_INDEX`]).
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The modification counter.
+    #[inline]
+    pub const fn tag(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// Whether this word encodes NULL.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.index() == NULL_INDEX
+    }
+
+    /// A new word pointing at `index` with this word's counter incremented —
+    /// the `<ptr, count+1>` idiom from every CAS in Figure 1.
+    #[inline]
+    pub const fn with_index(self, index: u32) -> Self {
+        Tagged::new(index, self.tag().wrapping_add(1))
+    }
+
+    /// A null word with this word's counter incremented.
+    #[inline]
+    pub const fn nulled(self) -> Self {
+        self.with_index(NULL_INDEX)
+    }
+}
+
+impl Default for Tagged {
+    fn default() -> Self {
+        Tagged::NULL
+    }
+}
+
+impl fmt::Debug for Tagged {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "Tagged(NULL, tag={})", self.tag())
+        } else {
+            write!(f, "Tagged({}, tag={})", self.index(), self.tag())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_index_and_tag() {
+        for &(i, t) in &[(0u32, 0u32), (1, 1), (42, 7), (u32::MAX - 1, u32::MAX), (NULL_INDEX, 3)] {
+            let w = Tagged::new(i, t);
+            assert_eq!(w.index(), i);
+            assert_eq!(w.tag(), t);
+            assert_eq!(Tagged::from_raw(w.raw()), w);
+        }
+    }
+
+    #[test]
+    fn null_is_null() {
+        assert!(Tagged::NULL.is_null());
+        assert!(!Tagged::new(0, 0).is_null());
+        assert_eq!(Tagged::default(), Tagged::NULL);
+    }
+
+    #[test]
+    fn with_index_bumps_tag() {
+        let w = Tagged::new(5, 9);
+        let n = w.with_index(6);
+        assert_eq!(n.index(), 6);
+        assert_eq!(n.tag(), 10);
+    }
+
+    #[test]
+    fn tag_wraps() {
+        let w = Tagged::new(5, u32::MAX);
+        assert_eq!(w.with_index(5).tag(), 0);
+    }
+
+    #[test]
+    fn nulled_bumps_tag_and_clears_index() {
+        let w = Tagged::new(5, 1);
+        let n = w.nulled();
+        assert!(n.is_null());
+        assert_eq!(n.tag(), 2);
+    }
+
+    #[test]
+    fn distinct_tags_compare_unequal() {
+        // The whole point of the counter: same index, different history.
+        assert_ne!(Tagged::new(3, 1), Tagged::new(3, 2));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Tagged::NULL).is_empty());
+        assert!(format!("{:?}", Tagged::new(1, 2)).contains('1'));
+    }
+}

@@ -1,0 +1,100 @@
+//! The [`AtomicWord`] operation set and the [`Platform`] factory trait.
+
+/// A single 64-bit shared-memory word supporting the atomic primitives used
+/// by every algorithm in the reproduction.
+///
+/// The operation set mirrors what Michael & Scott emulated with
+/// `load_linked`/`store_conditional` on the SGI Challenge:
+/// `compare_and_swap` (for the non-blocking queues), `fetch_and_store`
+/// a.k.a. swap (for Mellor-Crummey's queue), `fetch_and_add` (ticket locks,
+/// Valois reference counts), and `test_and_set` (simple spin locks).
+///
+/// All operations are sequentially consistent. The paper reasons about an
+/// SC machine, and the simulator executes one operation at a time in virtual
+/// time order, so SC is both faithful and the only sensible contract here.
+/// (The idiomatic heap-allocated queues in `msq-core` use weaker orderings;
+/// they do not go through this trait.)
+pub trait AtomicWord: Send + Sync + 'static {
+    /// Atomically reads the word.
+    fn load(&self) -> u64;
+
+    /// Atomically writes the word.
+    fn store(&self, value: u64);
+
+    /// Atomic compare-and-swap: if the word equals `current`, replace it
+    /// with `new`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Ok(current)` on success and `Err(actual)` with the observed
+    /// value on failure, matching `AtomicU64::compare_exchange`.
+    fn compare_exchange(&self, current: u64, new: u64) -> Result<u64, u64>;
+
+    /// Atomic `fetch_and_store`: writes `value`, returns the previous value.
+    fn swap(&self, value: u64) -> u64;
+
+    /// Atomic `fetch_and_add` (wrapping), returning the previous value.
+    fn fetch_add(&self, delta: u64) -> u64;
+
+    /// Atomic `fetch_and_sub` (wrapping), returning the previous value.
+    fn fetch_sub(&self, delta: u64) -> u64 {
+        self.fetch_add(delta.wrapping_neg())
+    }
+
+    /// `test_and_set`: atomically sets the word to 1 and reports whether it
+    /// was already non-zero (i.e. `true` means the "lock" was already held).
+    fn test_and_set(&self) -> bool {
+        self.swap(1) != 0
+    }
+
+    /// Boolean-flavoured CAS for call sites that do not need the witness.
+    fn cas(&self, current: u64, new: u64) -> bool {
+        self.compare_exchange(current, new).is_ok()
+    }
+}
+
+/// Factory for shared cells plus the execution-environment services the
+/// algorithms need (pure delay for backoff / "other work", and a spin hint).
+///
+/// Implementations: [`crate::NativePlatform`] (real atomics, wall-clock
+/// delays) and `msq_sim::SimPlatform` (simulated memory, virtual-time
+/// delays).
+///
+/// Platforms are cheap handles (`Clone`): data structures store one so
+/// their internal retry loops can issue backoff delays.
+pub trait Platform: Clone + Send + Sync + Sized + 'static {
+    /// The shared-cell type produced by this platform.
+    type Cell: AtomicWord;
+
+    /// Allocates a new shared cell holding `init`.
+    ///
+    /// Allocation is a *setup-time* operation: the experiments pre-allocate
+    /// every node before timing starts, so implementations do not charge
+    /// simulated time for it.
+    fn alloc_cell(&self, init: u64) -> Self::Cell;
+
+    /// Burns `nanos` nanoseconds without touching shared memory.
+    ///
+    /// Used for bounded exponential backoff and for the workload's ~6 µs
+    /// "other work" loop. On the native platform this spins on the
+    /// monotonic clock; in the simulator it advances the calling process's
+    /// virtual clock.
+    fn delay(&self, nanos: u64);
+
+    /// A single spin-wait pause (native: `std::hint::spin_loop`; simulated:
+    /// a small fixed virtual-time charge).
+    fn cpu_relax(&self);
+
+    /// A seed for randomized backoff jitter.
+    ///
+    /// The default draws from a global atomic sequence, which is fine
+    /// natively. The simulator overrides this with a value derived from
+    /// the calling *process's own* program order, because a global
+    /// sequence observed from concurrently-running worker threads would
+    /// make simulated runs irreproducible.
+    fn jitter_seed(&self) -> u64 {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0x243f_6a88_85a3_08d3);
+        SEQ.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+    }
+}

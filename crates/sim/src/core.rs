@@ -1,0 +1,563 @@
+//! Scheduler core: virtual clocks, run queues, the coherence cost model,
+//! and the token-passing protocol that sequentializes worker threads.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::config::SimConfig;
+
+/// Identifies "no process" in the token slot.
+pub(crate) const NOBODY: usize = usize::MAX;
+
+/// The kinds of shared-memory operation the cost model distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum MemOp {
+    Load,
+    Store(u64),
+    CompareExchange { current: u64, new: u64 },
+    Swap(u64),
+    FetchAdd(u64),
+}
+
+/// Result of a memory operation: the value returned to the caller plus
+/// whether a CAS failed (for statistics).
+pub(crate) struct MemResult {
+    pub value: Result<u64, u64>,
+    // Recorded in per-process stats by `apply`; kept on the result for
+    // white-box tests of the cost model.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub cas_failed: bool,
+}
+
+struct CellState {
+    value: u64,
+    /// Bitmask of processors currently holding this cell in cache.
+    sharers: u64,
+}
+
+struct Processor {
+    clock_ns: u64,
+    /// Front is the currently scheduled process.
+    run_queue: VecDeque<usize>,
+    quantum_left_ns: u64,
+    /// Deterministic xorshift state for quantum jitter.
+    rng: u64,
+}
+
+impl Processor {
+    /// Next quantum length: the configured quantum ±25%, from a seeded
+    /// xorshift so runs stay reproducible. Without jitter the workload's
+    /// nearly-periodic op sequence phase-locks against the quantum and
+    /// expiries systematically miss (or hit) critical sections — an
+    /// artifact a real machine's noise does not have.
+    fn next_quantum(&mut self, base: u64) -> u64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let half_range = base / 4;
+        if half_range == 0 {
+            return base.max(1);
+        }
+        base - half_range + self.rng % (2 * half_range)
+    }
+}
+
+struct Process {
+    cpu: usize,
+    finished: bool,
+    ops: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cas_failures: u64,
+}
+
+pub(crate) struct Core {
+    cfg: SimConfig,
+    cells: Vec<CellState>,
+    processors: Vec<Processor>,
+    processes: Vec<Process>,
+    /// The process holding the execution token, or [`NOBODY`].
+    running: usize,
+    live: usize,
+    started: bool,
+    preemptions: u64,
+    trace: Vec<crate::report::TraceEvent>,
+}
+
+impl Core {
+    fn new(cfg: SimConfig) -> Self {
+        cfg.validate();
+        let n = cfg.num_processes();
+        let mut processors: Vec<Processor> = (0..cfg.processors)
+            .map(|cpu| Processor {
+                clock_ns: 0,
+                run_queue: VecDeque::new(),
+                quantum_left_ns: cfg.quantum_ns,
+                rng: 0x9e37_79b9_7f4a_7c15 ^ (cpu as u64 + 1),
+            })
+            .collect();
+        let processes: Vec<Process> = (0..n)
+            .map(|pid| {
+                let cpu = pid % cfg.processors;
+                processors[cpu].run_queue.push_back(pid);
+                Process {
+                    cpu,
+                    finished: false,
+                    ops: 0,
+                    cache_hits: 0,
+                    cache_misses: 0,
+                    cas_failures: 0,
+                }
+            })
+            .collect();
+        Core {
+            cfg,
+            cells: Vec::new(),
+            processors,
+            processes,
+            running: NOBODY,
+            live: n,
+            started: false,
+            preemptions: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    fn alloc_cell(&mut self, init: u64) -> u32 {
+        let id = self.cells.len();
+        assert!(id < u32::MAX as usize, "simulated memory exhausted");
+        self.cells.push(CellState {
+            value: init,
+            sharers: 0,
+        });
+        id as u32
+    }
+
+    /// Applies `op` to cell `cell` on behalf of `pid`, returning the result
+    /// and the virtual-time cost under the coherence model.
+    fn apply(&mut self, pid: usize, cell: u32, op: MemOp) -> (MemResult, u64) {
+        let cpu = self.processes[pid].cpu;
+        let my_bit = 1u64 << cpu;
+        let state = &mut self.cells[cell as usize];
+        let mut cost = self.cfg.t_local_ns;
+
+        let is_read_only = matches!(op, MemOp::Load);
+        if is_read_only {
+            if state.sharers & my_bit != 0 {
+                cost += self.cfg.t_hit_ns;
+                self.processes[pid].cache_hits += 1;
+            } else {
+                cost += self.cfg.t_miss_ns;
+                self.processes[pid].cache_misses += 1;
+            }
+            state.sharers |= my_bit;
+        } else {
+            let others = (state.sharers & !my_bit).count_ones() as u64;
+            if state.sharers == my_bit {
+                cost += self.cfg.t_hit_ns;
+                self.processes[pid].cache_hits += 1;
+            } else {
+                cost += self.cfg.t_miss_ns + self.cfg.t_inval_ns * others;
+                self.processes[pid].cache_misses += 1;
+            }
+            state.sharers = my_bit;
+            if !matches!(op, MemOp::Store(_)) {
+                cost += self.cfg.t_rmw_ns;
+            }
+        }
+
+        let prev = state.value;
+        let mut cas_failed = false;
+        let value = match op {
+            MemOp::Load => Ok(prev),
+            MemOp::Store(v) => {
+                state.value = v;
+                Ok(prev)
+            }
+            MemOp::CompareExchange { current, new } => {
+                if prev == current {
+                    state.value = new;
+                    Ok(prev)
+                } else {
+                    cas_failed = true;
+                    Err(prev)
+                }
+            }
+            MemOp::Swap(v) => {
+                state.value = v;
+                Ok(prev)
+            }
+            MemOp::FetchAdd(d) => {
+                state.value = prev.wrapping_add(d);
+                Ok(prev)
+            }
+        };
+        self.processes[pid].ops += 1;
+        if cas_failed {
+            self.processes[pid].cas_failures += 1;
+        }
+        if self.trace.len() < self.cfg.trace_capacity {
+            self.trace.push(crate::report::TraceEvent {
+                at_ns: self.processors[cpu].clock_ns,
+                pid,
+                processor: cpu,
+                cell,
+                kind: match op {
+                    MemOp::Load => crate::report::TraceKind::Load,
+                    MemOp::Store(_) => crate::report::TraceKind::Store,
+                    MemOp::CompareExchange { .. } => crate::report::TraceKind::CompareExchange {
+                        success: !cas_failed,
+                    },
+                    MemOp::Swap(_) => crate::report::TraceKind::Swap,
+                    MemOp::FetchAdd(_) => crate::report::TraceKind::FetchAdd,
+                },
+            });
+        }
+        (MemResult { value, cas_failed }, cost)
+    }
+
+    /// Reads a cell without charging time (setup / post-run inspection).
+    fn peek(&self, cell: u32) -> u64 {
+        self.cells[cell as usize].value
+    }
+
+    /// Writes a cell without charging time (setup only).
+    fn poke(&mut self, cell: u32, value: u64) {
+        self.cells[cell as usize].value = value;
+    }
+
+    /// Advances `pid`'s processor clock by `cost` and performs quantum
+    /// accounting (round-robin rotation with context-switch cost).
+    fn charge(&mut self, pid: usize, cost: u64) {
+        let cpu = self.processes[pid].cpu;
+        let processor = &mut self.processors[cpu];
+        processor.clock_ns += cost;
+        if processor.run_queue.len() > 1 {
+            processor.quantum_left_ns = processor.quantum_left_ns.saturating_sub(cost);
+            if processor.quantum_left_ns == 0 {
+                let front = processor.run_queue.pop_front().expect("non-empty");
+                debug_assert_eq!(front, pid);
+                processor.run_queue.push_back(front);
+                processor.clock_ns += self.cfg.ctx_switch_ns;
+                let base = self.cfg.quantum_ns;
+                processor.quantum_left_ns = processor.next_quantum(base);
+                self.preemptions += 1;
+            }
+        }
+    }
+
+    /// Picks the next process to hold the token: the front of the run queue
+    /// of the least-advanced processor that still has work (ties broken by
+    /// processor index). Returns [`NOBODY`] when everything has finished.
+    fn pick_next(&self) -> usize {
+        let mut best: Option<(u64, usize)> = None;
+        for (idx, processor) in self.processors.iter().enumerate() {
+            if processor.run_queue.is_empty() {
+                continue;
+            }
+            match best {
+                Some((clock, _)) if clock <= processor.clock_ns => {}
+                _ => best = Some((processor.clock_ns, idx)),
+            }
+        }
+        match best {
+            Some((_, cpu)) => *self.processors[cpu].run_queue.front().expect("non-empty"),
+            None => NOBODY,
+        }
+    }
+
+    fn remove_process(&mut self, pid: usize) {
+        let cpu = self.processes[pid].cpu;
+        self.processes[pid].finished = true;
+        self.processors[cpu].run_queue.retain(|&p| p != pid);
+        // Reset the quantum for whoever runs next on this processor.
+        let base = self.cfg.quantum_ns;
+        self.processors[cpu].quantum_left_ns = self.processors[cpu].next_quantum(base);
+        self.live -= 1;
+    }
+}
+
+/// Shared scheduler state: the core under a mutex plus one condvar per
+/// process (avoiding thundering-herd wakeups) and one for the coordinator.
+pub(crate) struct SimShared {
+    core: Mutex<Core>,
+    process_cv: Vec<Condvar>,
+    done_cv: Condvar,
+}
+
+impl SimShared {
+    pub fn new(cfg: SimConfig) -> Self {
+        let n = cfg.num_processes();
+        SimShared {
+            core: Mutex::new(Core::new(cfg)),
+            process_cv: (0..n).map(|_| Condvar::new()).collect(),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    pub fn config(&self) -> SimConfig {
+        self.core.lock().expect("sim lock").cfg
+    }
+
+    pub fn alloc_cell(&self, init: u64) -> u32 {
+        self.core.lock().expect("sim lock").alloc_cell(init)
+    }
+
+    /// Direct, cost-free access for the coordinator thread (setup before
+    /// `run`, inspection after).
+    pub fn peek(&self, cell: u32) -> u64 {
+        self.core.lock().expect("sim lock").peek(cell)
+    }
+
+    pub fn poke(&self, cell: u32, value: u64) {
+        self.core.lock().expect("sim lock").poke(cell, value)
+    }
+
+    /// Marks the simulation started and seats the first token holder.
+    pub fn start(&self) {
+        let mut core = self.core.lock().expect("sim lock");
+        assert!(!core.started, "simulation already started");
+        core.started = true;
+        core.running = core.pick_next();
+        let first = core.running;
+        drop(core);
+        if first != NOBODY {
+            self.process_cv[first].notify_one();
+        }
+    }
+
+    /// Executes one shared-memory operation on behalf of `pid`, charging
+    /// virtual time and handing the token to the next process.
+    pub fn mem_op(&self, pid: usize, cell: u32, op: MemOp) -> Result<u64, u64> {
+        let mut core = self.wait_for_token(pid);
+        let (result, cost) = core.apply(pid, cell, op);
+        self.charge_and_pass(core, pid, cost);
+        result.value
+    }
+
+    /// Charges `nanos` of pure delay (backoff / "other work") to `pid`.
+    pub fn delay(&self, pid: usize, nanos: u64) {
+        let core = self.wait_for_token(pid);
+        self.charge_and_pass(core, pid, nanos);
+    }
+
+    /// Retires `pid` from the simulation.
+    pub fn finish(&self, pid: usize) {
+        let mut core = self.wait_for_token(pid);
+        core.remove_process(pid);
+        core.running = core.pick_next();
+        let next = core.running;
+        let all_done = core.live == 0;
+        drop(core);
+        if next != NOBODY {
+            self.process_cv[next].notify_one();
+        }
+        if all_done {
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Blocks the coordinator until every process has finished.
+    pub fn wait_all_done(&self) {
+        let mut core = self.core.lock().expect("sim lock");
+        while core.live > 0 {
+            core = self.done_cv.wait(core).expect("sim lock");
+        }
+    }
+
+    /// Collects final statistics (coordinator, after `wait_all_done`).
+    pub fn snapshot(&self) -> crate::report::SimReport {
+        let core = self.core.lock().expect("sim lock");
+        crate::report::SimReport {
+            elapsed_ns: core
+                .processors
+                .iter()
+                .map(|p| p.clock_ns)
+                .max()
+                .unwrap_or(0),
+            per_processor_ns: core.processors.iter().map(|p| p.clock_ns).collect(),
+            total_ops: core.processes.iter().map(|p| p.ops).sum(),
+            cache_hits: core.processes.iter().map(|p| p.cache_hits).sum(),
+            cache_misses: core.processes.iter().map(|p| p.cache_misses).sum(),
+            cas_failures: core.processes.iter().map(|p| p.cas_failures).sum(),
+            preemptions: core.preemptions,
+            per_process: core
+                .processes
+                .iter()
+                .enumerate()
+                .map(|(pid, p)| crate::report::ProcessReport {
+                    pid,
+                    processor: p.cpu,
+                    ops: p.ops,
+                    cache_hits: p.cache_hits,
+                    cache_misses: p.cache_misses,
+                    cas_failures: p.cas_failures,
+                })
+                .collect(),
+            trace: core.trace.clone(),
+        }
+    }
+
+    fn wait_for_token(&self, pid: usize) -> std::sync::MutexGuard<'_, Core> {
+        let mut core = self.core.lock().expect("sim lock");
+        while !core.started || core.running != pid {
+            core = self.process_cv[pid].wait(core).expect("sim lock");
+        }
+        core
+    }
+
+    fn charge_and_pass(
+        &self,
+        mut core: std::sync::MutexGuard<'_, Core>,
+        pid: usize,
+        cost: u64,
+    ) {
+        core.charge(pid, cost);
+        let next = core.pick_next();
+        core.running = next;
+        if next != pid {
+            drop(core);
+            if next != NOBODY {
+                self.process_cv[next].notify_one();
+            }
+        }
+        // If next == pid the caller simply proceeds; no handshake needed.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cpu_cfg() -> SimConfig {
+        SimConfig {
+            processors: 2,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn cost_model_distinguishes_hits_and_misses() {
+        let mut core = Core::new(two_cpu_cfg());
+        let cell = core.alloc_cell(0);
+        // First read by pid 0 (cpu 0): miss.
+        let (_, c1) = core.apply(0, cell, MemOp::Load);
+        assert_eq!(c1, core.cfg.t_local_ns + core.cfg.t_miss_ns);
+        // Second read: hit.
+        let (_, c2) = core.apply(0, cell, MemOp::Load);
+        assert_eq!(c2, core.cfg.t_local_ns + core.cfg.t_hit_ns);
+        // Read by pid 1 (cpu 1): miss, both now share.
+        let (_, c3) = core.apply(1, cell, MemOp::Load);
+        assert_eq!(c3, core.cfg.t_local_ns + core.cfg.t_miss_ns);
+        // Write by pid 0 invalidates cpu 1: miss + 1 invalidation.
+        let (_, c4) = core.apply(0, cell, MemOp::Store(1));
+        assert_eq!(
+            c4,
+            core.cfg.t_local_ns + core.cfg.t_miss_ns + core.cfg.t_inval_ns
+        );
+        // Exclusive re-write by pid 0: hit.
+        let (_, c5) = core.apply(0, cell, MemOp::Store(2));
+        assert_eq!(c5, core.cfg.t_local_ns + core.cfg.t_hit_ns);
+    }
+
+    #[test]
+    fn rmw_carries_surcharge_even_on_cas_failure() {
+        let mut core = Core::new(two_cpu_cfg());
+        let cell = core.alloc_cell(5);
+        let (r, cost) = core.apply(
+            0,
+            cell,
+            MemOp::CompareExchange {
+                current: 9,
+                new: 10,
+            },
+        );
+        assert!(r.cas_failed);
+        assert_eq!(r.value, Err(5));
+        assert!(cost >= core.cfg.t_rmw_ns);
+        assert_eq!(core.peek(cell), 5);
+    }
+
+    #[test]
+    fn memory_semantics_match_atomics() {
+        let mut core = Core::new(two_cpu_cfg());
+        let cell = core.alloc_cell(10);
+        assert_eq!(core.apply(0, cell, MemOp::FetchAdd(5)).0.value, Ok(10));
+        assert_eq!(core.peek(cell), 15);
+        assert_eq!(core.apply(0, cell, MemOp::Swap(1)).0.value, Ok(15));
+        assert_eq!(core.peek(cell), 1);
+        assert_eq!(
+            core.apply(0, cell, MemOp::CompareExchange { current: 1, new: 2 })
+                .0
+                .value,
+            Ok(1)
+        );
+        assert_eq!(core.peek(cell), 2);
+    }
+
+    #[test]
+    fn quantum_expiry_rotates_run_queue() {
+        let cfg = SimConfig {
+            processors: 1,
+            processes_per_processor: 2,
+            quantum_ns: 100,
+            ctx_switch_ns: 7,
+            ..SimConfig::default()
+        };
+        let mut core = Core::new(cfg);
+        assert_eq!(core.processors[0].run_queue.front(), Some(&0));
+        core.charge(0, 100); // exactly exhausts the quantum
+        assert_eq!(core.processors[0].run_queue.front(), Some(&1));
+        assert_eq!(core.processors[0].clock_ns, 107);
+        assert_eq!(core.preemptions, 1);
+    }
+
+    #[test]
+    fn dedicated_processor_never_preempts() {
+        let cfg = SimConfig {
+            processors: 1,
+            processes_per_processor: 1,
+            quantum_ns: 10,
+            ..SimConfig::default()
+        };
+        let mut core = Core::new(cfg);
+        core.charge(0, 1_000_000);
+        assert_eq!(core.preemptions, 0);
+        assert_eq!(core.processors[0].run_queue.front(), Some(&0));
+    }
+
+    #[test]
+    fn pick_next_prefers_least_advanced_processor() {
+        let mut core = Core::new(two_cpu_cfg());
+        assert_eq!(core.pick_next(), 0, "tie broken by processor index");
+        core.charge(0, 50);
+        assert_eq!(core.pick_next(), 1);
+        core.charge(1, 200);
+        assert_eq!(core.pick_next(), 0);
+    }
+
+    #[test]
+    fn finished_processes_are_skipped() {
+        let mut core = Core::new(two_cpu_cfg());
+        core.remove_process(0);
+        assert_eq!(core.pick_next(), 1);
+        core.remove_process(1);
+        assert_eq!(core.pick_next(), NOBODY);
+        assert_eq!(core.live, 0);
+    }
+
+    #[test]
+    fn processes_distribute_round_robin_over_processors() {
+        let cfg = SimConfig {
+            processors: 3,
+            processes_per_processor: 2,
+            ..SimConfig::default()
+        };
+        let core = Core::new(cfg);
+        assert_eq!(core.processes[0].cpu, 0);
+        assert_eq!(core.processes[1].cpu, 1);
+        assert_eq!(core.processes[2].cpu, 2);
+        assert_eq!(core.processes[3].cpu, 0);
+        assert_eq!(core.processors[0].run_queue.len(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Statistics produced by a simulation run.
+
+/// What a traced operation did (see [`TraceEvent`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Atomic load.
+    Load,
+    /// Atomic store.
+    Store,
+    /// Compare-and-swap; the flag records whether it succeeded.
+    CompareExchange {
+        /// Whether the CAS installed its new value.
+        success: bool,
+    },
+    /// Atomic swap (`fetch_and_store`).
+    Swap,
+    /// Atomic fetch-and-add.
+    FetchAdd,
+}
+
+/// One recorded shared-memory operation (when
+/// [`crate::SimConfig::trace_capacity`] is non-zero).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time at which the operation took effect (the issuing
+    /// processor's clock *before* the operation's cost).
+    pub at_ns: u64,
+    /// The process that issued it.
+    pub pid: usize,
+    /// The processor it ran on.
+    pub processor: usize,
+    /// The cell id (allocation order).
+    pub cell: u32,
+    /// Operation kind and outcome.
+    pub kind: TraceKind,
+}
+
+/// Per-process statistics within a [`SimReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcessReport {
+    /// The process id.
+    pub pid: usize,
+    /// The processor the process ran on.
+    pub processor: usize,
+    /// Shared-memory operations executed.
+    pub ops: u64,
+    /// Operations that hit in the processor's cache.
+    pub cache_hits: u64,
+    /// Operations that missed.
+    pub cache_misses: u64,
+    /// Failed `compare_exchange` operations.
+    pub cas_failures: u64,
+}
+
+/// Aggregate results of one [`crate::Simulation::run`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimReport {
+    /// Virtual elapsed time: the maximum processor clock at completion.
+    pub elapsed_ns: u64,
+    /// Final clock of each simulated processor.
+    pub per_processor_ns: Vec<u64>,
+    /// Total shared-memory operations executed.
+    pub total_ops: u64,
+    /// Operations that hit in the issuing processor's cache.
+    pub cache_hits: u64,
+    /// Operations that missed (including invalidating writes).
+    pub cache_misses: u64,
+    /// `compare_exchange` operations that failed.
+    pub cas_failures: u64,
+    /// Quantum-expiry preemptions across all processors.
+    pub preemptions: u64,
+    /// Per-process breakdowns (indexed by pid).
+    pub per_process: Vec<ProcessReport>,
+    /// The first [`crate::SimConfig::trace_capacity`] operations, in
+    /// virtual-time order (empty when tracing is disabled).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimReport {
+    /// Fraction of memory operations that missed, in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        let touched = self.cache_hits + self.cache_misses;
+        if touched == 0 {
+            0.0
+        } else {
+            self.cache_misses as f64 / touched as f64
+        }
+    }
+
+    /// Virtual elapsed time in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed_ns as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(hits: u64, misses: u64) -> SimReport {
+        SimReport {
+            elapsed_ns: 1_500_000_000,
+            per_processor_ns: vec![1_500_000_000],
+            total_ops: hits + misses,
+            cache_hits: hits,
+            cache_misses: misses,
+            cas_failures: 0,
+            preemptions: 0,
+            per_process: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn miss_rate_is_fraction() {
+        assert_eq!(report(3, 1).miss_rate(), 0.25);
+        assert_eq!(report(0, 0).miss_rate(), 0.0);
+        assert_eq!(report(0, 5).miss_rate(), 1.0);
+    }
+
+    #[test]
+    fn elapsed_secs_converts() {
+        assert!((report(1, 0).elapsed_secs() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: the idiomatic Michael–Scott queue as a work channel.
+//!
+//! Four producers and two consumers share one lock-free `MsQueue<Job>`;
+//! nothing blocks, values are never lost or duplicated.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ms_queues::MsQueue;
+
+#[derive(Debug)]
+struct Job {
+    producer: usize,
+    payload: u64,
+}
+
+fn main() {
+    const PRODUCERS: usize = 4;
+    const JOBS_EACH: u64 = 25_000;
+
+    let queue: Arc<MsQueue<Job>> = Arc::new(MsQueue::new());
+    let done_producing = Arc::new(AtomicBool::new(false));
+    let processed = Arc::new(AtomicU64::new(0));
+    let checksum = Arc::new(AtomicU64::new(0));
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|producer| {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                for payload in 0..JOBS_EACH {
+                    queue.enqueue(Job { producer, payload });
+                }
+            })
+        })
+        .collect();
+
+    let consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let queue = Arc::clone(&queue);
+            let done_producing = Arc::clone(&done_producing);
+            let processed = Arc::clone(&processed);
+            let checksum = Arc::clone(&checksum);
+            std::thread::spawn(move || loop {
+                match queue.dequeue() {
+                    Some(job) => {
+                        checksum.fetch_add(job.payload + job.producer as u64, Ordering::Relaxed);
+                        processed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None if done_producing.load(Ordering::Acquire) => break,
+                    None => std::hint::spin_loop(),
+                }
+            })
+        })
+        .collect();
+
+    for p in producers {
+        p.join().expect("producer");
+    }
+    done_producing.store(true, Ordering::Release);
+    for c in consumers {
+        c.join().expect("consumer");
+    }
+
+    let expected_jobs = PRODUCERS as u64 * JOBS_EACH;
+    let expected_checksum =
+        PRODUCERS as u64 * (0..JOBS_EACH).sum::<u64>() + (0..PRODUCERS as u64).sum::<u64>() * JOBS_EACH;
+    assert_eq!(processed.load(Ordering::Relaxed), expected_jobs);
+    assert_eq!(checksum.load(Ordering::Relaxed), expected_checksum);
+    println!(
+        "processed {} jobs from {} producers across 2 consumers — checksum OK",
+        expected_jobs, PRODUCERS
+    );
+    assert!(queue.is_empty());
+}

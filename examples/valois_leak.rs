@@ -1,0 +1,92 @@
+//! Reproduces the paper's Valois memory-exhaustion experiment.
+//!
+//! Section 1: "In experiments with a queue of maximum length 12 items, we
+//! ran out of memory several times during runs of ten million enqueues and
+//! dequeues, using a free list initialized with 64,000 nodes." The cause:
+//! a delayed process holding a single node reference pins that node *and
+//! all of its successors*, so churn devours any finite pool.
+//!
+//! This example stalls one reader while another thread churns a
+//! max-12-item queue against a 64,000-node pool, and reports how many
+//! operations it took to exhaust it. The Michael–Scott queue running the
+//! identical workload afterwards never needs more than 13 nodes.
+//!
+//! ```text
+//! cargo run --release --example valois_leak
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ms_queues::{ConcurrentWordQueue, NativePlatform, ValoisQueue, WordMsQueue};
+
+const POOL: u32 = 64_000;
+const MAX_QUEUE_LEN: u64 = 12;
+const OPS_BUDGET: u64 = 10_000_000;
+
+fn churn(queue: &dyn ConcurrentWordQueue, ops: u64) -> Result<u64, u64> {
+    let mut performed = 0;
+    let mut len = 0u64;
+    for i in 0..ops {
+        if len < MAX_QUEUE_LEN {
+            if queue.enqueue(i).is_err() {
+                return Err(performed);
+            }
+            len += 1;
+        } else {
+            queue.dequeue().expect("queue holds items");
+            len -= 1;
+        }
+        performed += 1;
+    }
+    Ok(performed)
+}
+
+fn main() {
+    let platform = NativePlatform::new();
+
+    // --- Valois with a stalled reader ---------------------------------
+    let valois = Arc::new(ValoisQueue::with_capacity(&platform, POOL));
+    valois.enqueue(0).unwrap();
+    let stalled = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let valois = Arc::clone(&valois);
+        let stalled = Arc::clone(&stalled);
+        let release = Arc::clone(&release);
+        std::thread::spawn(move || {
+            valois.with_pinned_head(|| {
+                stalled.store(true, Ordering::Release);
+                while !release.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            })
+        })
+    };
+    while !stalled.load(Ordering::Acquire) {
+        std::thread::yield_now();
+    }
+    match churn(&*valois, OPS_BUDGET) {
+        Err(done) => println!(
+            "Valois queue: pool of {POOL} nodes EXHAUSTED after {done} operations\n\
+             (queue never held more than {MAX_QUEUE_LEN} items — the paper's failure mode)"
+        ),
+        Ok(done) => println!(
+            "Valois queue: survived {done} operations (increase OPS_BUDGET to reproduce)"
+        ),
+    }
+    release.store(true, Ordering::Release);
+    reader.join().expect("reader");
+
+    // --- Michael–Scott on the identical workload ----------------------
+    // Capacity of just max-len + 1 suffices: dequeued nodes are reusable
+    // immediately.
+    let ms = WordMsQueue::with_capacity(&platform, (MAX_QUEUE_LEN + 1) as u32);
+    match churn(&ms, OPS_BUDGET) {
+        Ok(done) => println!(
+            "Michael-Scott queue: completed all {done} operations with a pool of only {} nodes",
+            MAX_QUEUE_LEN + 1
+        ),
+        Err(done) => unreachable!("MS queue exhausted after {done} ops — should be impossible"),
+    }
+}

@@ -1,0 +1,78 @@
+//! # ms-queues
+//!
+//! A full reproduction of **M. M. Michael and M. L. Scott, "Simple, Fast,
+//! and Practical Non-Blocking and Blocking Concurrent Queue Algorithms"**
+//! (PODC 1996 / University of Rochester TR 600, 1995): the two contributed
+//! algorithms, every baseline the paper compares against, and the
+//! experimental apparatus that regenerates its three evaluation figures —
+//! including a deterministic multiprocessor simulator standing in for the
+//! paper's 12-processor SGI Challenge.
+//!
+//! This crate is a facade: it re-exports the workspace's public API.
+//!
+//! ## The contributions ([`mod@core`])
+//!
+//! * [`MsQueue`] / [`TwoLockQueue`] — idiomatic heap-allocated generic
+//!   queues for downstream use (hazard-pointer reclamation, `parking_lot`
+//!   locks respectively).
+//! * [`WordMsQueue`] / [`WordTwoLockQueue`] — the paper's Figure 1 and
+//!   Figure 2 pseudo-code, line for line, over the [`platform`]
+//!   abstraction and an arena free list, runnable natively or simulated.
+//!
+//! ## The baselines ([`baselines`])
+//!
+//! [`SingleLockQueue`], [`McQueue`] (Mellor-Crummey), [`PljQueue`]
+//! (Prakash–Lee–Johnson), [`ValoisQueue`], plus [`TreiberStack`] and
+//! [`LamportQueue`].
+//!
+//! ## The apparatus
+//!
+//! * [`sim`] — deterministic virtual-time multiprocessor ([`Simulation`]).
+//! * [`harness`] — the Section 4 workload and figure sweeps
+//!   ([`run_simulated`], [`run_figure`]).
+//! * [`linearize`] — history recording and linearizability checking.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ms_queues::MsQueue;
+//! use std::sync::Arc;
+//!
+//! let queue = Arc::new(MsQueue::new());
+//! let handle = {
+//!     let queue = Arc::clone(&queue);
+//!     std::thread::spawn(move || queue.enqueue(42))
+//! };
+//! handle.join().unwrap();
+//! assert_eq!(queue.dequeue(), Some(42));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod guide;
+
+pub use msq_arena as arena;
+pub use msq_baselines as baselines;
+pub use msq_core as core;
+pub use msq_harness as harness;
+pub use msq_hazard as hazard;
+pub use msq_linearize as linearize;
+pub use msq_platform as platform;
+pub use msq_sim as sim;
+pub use msq_sync as sync;
+
+pub use msq_baselines::{
+    HerlihyQueue, LamportQueue, McQueue, PljQueue, SingleLockQueue, TreiberStack, ValoisQueue,
+};
+pub use msq_core::{
+    spsc_channel, EpochMsQueue, LockFreeStack, MsQueue, TwoLockQueue, WordMsQueue,
+    WordTwoLockQueue,
+};
+pub use msq_sync::{ClhLock, McsLock, RawLock, TasLock, TicketLock, TokenLock, TtasLock};
+pub use msq_harness::{run_figure, run_native, run_simulated, Algorithm, WorkloadConfig};
+pub use msq_linearize::{is_linearizable_queue, History, Recorder};
+pub use msq_platform::{
+    AtomicWord, Backoff, BackoffConfig, ConcurrentStack, ConcurrentWordQueue, NativePlatform,
+    Platform, QueueFull, Tagged,
+};
+pub use msq_sim::{SimConfig, SimPlatform, SimReport, Simulation};

@@ -1,0 +1,132 @@
+//! Cross-crate MPMC correctness of every queue in the evaluation, on real
+//! threads: conservation (nothing lost, nothing duplicated) and
+//! per-producer FIFO order.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ms_queues::{Algorithm, NativePlatform};
+
+const PRODUCERS: u64 = 3;
+const CONSUMERS: u64 = 3;
+const PER_PRODUCER: u64 = 4_000;
+
+fn stress(algorithm: Algorithm) {
+    let platform = NativePlatform::new();
+    let queue = algorithm.build(&platform, 16_384);
+    let consumed: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let taken = Arc::new(AtomicU64::new(0));
+    let total = PRODUCERS * PER_PRODUCER;
+
+    let mut handles = Vec::new();
+    for producer in 0..PRODUCERS {
+        let queue = Arc::clone(&queue);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..PER_PRODUCER {
+                let value = (producer << 32) | i;
+                while queue.enqueue(value).is_err() {
+                    std::thread::yield_now();
+                }
+            }
+        }));
+    }
+    for _ in 0..CONSUMERS {
+        let queue = Arc::clone(&queue);
+        let consumed = Arc::clone(&consumed);
+        let taken = Arc::clone(&taken);
+        handles.push(std::thread::spawn(move || {
+            let mut local = Vec::new();
+            while taken.load(Ordering::SeqCst) < total {
+                if let Some(value) = queue.dequeue() {
+                    taken.fetch_add(1, Ordering::SeqCst);
+                    local.push(value);
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            consumed.lock().unwrap().extend(local);
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let consumed = Arc::try_unwrap(consumed).unwrap().into_inner().unwrap();
+    assert_eq!(consumed.len() as u64, total, "{algorithm}: count");
+    let unique: HashSet<u64> = consumed.iter().copied().collect();
+    assert_eq!(unique.len() as u64, total, "{algorithm}: duplicates");
+    for producer in 0..PRODUCERS {
+        for i in 0..PER_PRODUCER {
+            assert!(
+                unique.contains(&((producer << 32) | i)),
+                "{algorithm}: lost value {producer}:{i}"
+            );
+        }
+    }
+    assert_eq!(queue.dequeue(), None, "{algorithm}: drained");
+}
+
+fn per_producer_order(algorithm: Algorithm) {
+    let platform = NativePlatform::new();
+    let queue = algorithm.build(&platform, 16_384);
+    let mut handles = Vec::new();
+    for producer in 0..PRODUCERS {
+        let queue = Arc::clone(&queue);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..PER_PRODUCER {
+                while queue.enqueue((producer << 32) | i).is_err() {
+                    std::thread::yield_now();
+                }
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let mut last = vec![None::<u64>; PRODUCERS as usize];
+    while let Some(value) = queue.dequeue() {
+        let producer = (value >> 32) as usize;
+        let seq = value & 0xffff_ffff;
+        if let Some(prev) = last[producer] {
+            assert!(seq > prev, "{algorithm}: producer {producer} reordered");
+        }
+        last[producer] = Some(seq);
+    }
+    for (producer, seen) in last.iter().enumerate() {
+        assert_eq!(
+            *seen,
+            Some(PER_PRODUCER - 1),
+            "{algorithm}: producer {producer} incomplete"
+        );
+    }
+}
+
+macro_rules! native_tests {
+    ($($name:ident => $alg:expr),+ $(,)?) => {
+        $(
+            mod $name {
+                use super::*;
+
+                #[test]
+                fn mpmc_conservation() {
+                    stress($alg);
+                }
+
+                #[test]
+                fn producer_fifo_order() {
+                    per_producer_order($alg);
+                }
+            }
+        )+
+    };
+}
+
+native_tests! {
+    single_lock => Algorithm::SingleLock,
+    mellor_crummey => Algorithm::MellorCrummey,
+    valois => Algorithm::Valois,
+    new_two_lock => Algorithm::NewTwoLock,
+    plj => Algorithm::PljNonBlocking,
+    new_nonblocking => Algorithm::NewNonBlocking,
+}

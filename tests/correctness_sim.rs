@@ -1,0 +1,94 @@
+//! Every algorithm driven on the simulated multiprocessor, with
+//! preemption: conservation and determinism hold under interleavings a
+//! host scheduler would be unlikely to produce.
+
+use std::sync::{Arc, Mutex};
+
+use ms_queues::{Algorithm, SimConfig, Simulation};
+
+fn preempting_config() -> SimConfig {
+    SimConfig {
+        processors: 3,
+        processes_per_processor: 2,
+        quantum_ns: 60_000,
+        ..SimConfig::default()
+    }
+}
+
+fn simulated_stress(algorithm: Algorithm) {
+    let sim = Simulation::new(preempting_config());
+    let queue = algorithm.build(&sim.platform(), 4_096);
+    let consumed: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let report = sim.run({
+        let queue = Arc::clone(&queue);
+        let consumed = Arc::clone(&consumed);
+        move |info| {
+            let mut local = Vec::new();
+            for i in 0..80_u64 {
+                let value = ((info.pid as u64) << 32) | i;
+                while queue.enqueue(value).is_err() {}
+                loop {
+                    if let Some(v) = queue.dequeue() {
+                        local.push(v);
+                        break;
+                    }
+                }
+            }
+            consumed.lock().unwrap().extend(local);
+        }
+    });
+    assert!(report.preemptions > 0, "{algorithm}: config must preempt");
+    assert_eq!(queue.dequeue(), None, "{algorithm}: drained");
+    let consumed = Arc::try_unwrap(consumed).unwrap().into_inner().unwrap();
+    assert_eq!(consumed.len(), 6 * 80, "{algorithm}: count");
+    let unique: std::collections::HashSet<u64> = consumed.iter().copied().collect();
+    assert_eq!(unique.len(), 6 * 80, "{algorithm}: duplicates");
+}
+
+fn simulated_determinism(algorithm: Algorithm) {
+    let run = || {
+        let sim = Simulation::new(preempting_config());
+        let queue = algorithm.build(&sim.platform(), 2_048);
+        let report = sim.run({
+            let queue = Arc::clone(&queue);
+            move |info| {
+                for i in 0..40_u64 {
+                    let value = ((info.pid as u64) << 32) | i;
+                    while queue.enqueue(value).is_err() {}
+                    while queue.dequeue().is_none() {}
+                }
+            }
+        });
+        (report.elapsed_ns, report.cas_failures, report.preemptions)
+    };
+    assert_eq!(run(), run(), "{algorithm}: simulation must be reproducible");
+}
+
+macro_rules! sim_tests {
+    ($($name:ident => $alg:expr),+ $(,)?) => {
+        $(
+            mod $name {
+                use super::*;
+
+                #[test]
+                fn conservation_under_preemption() {
+                    simulated_stress($alg);
+                }
+
+                #[test]
+                fn deterministic_execution() {
+                    simulated_determinism($alg);
+                }
+            }
+        )+
+    };
+}
+
+sim_tests! {
+    single_lock => Algorithm::SingleLock,
+    mellor_crummey => Algorithm::MellorCrummey,
+    valois => Algorithm::Valois,
+    new_two_lock => Algorithm::NewTwoLock,
+    plj => Algorithm::PljNonBlocking,
+    new_nonblocking => Algorithm::NewNonBlocking,
+}

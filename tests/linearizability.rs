@@ -1,0 +1,106 @@
+//! Section 3.2 made mechanical: small concurrent histories recorded from
+//! the real implementations are checked against the sequential FIFO
+//! specification with the exhaustive Wing–Gong search; large histories get
+//! the fast whole-history checks.
+
+use std::sync::Arc;
+
+use ms_queues::{is_linearizable_queue, Algorithm, NativePlatform, Recorder};
+
+/// Records a small burst of genuinely concurrent operations and checks
+/// the exact history is linearizable. Repeated to sample many real
+/// interleavings.
+fn linearizable_small_windows(algorithm: Algorithm) {
+    let platform = NativePlatform::new();
+    for round in 0..30 {
+        let queue = algorithm.build(&platform, 64);
+        let recorder = Recorder::new();
+        let mut handles = Vec::new();
+        for t in 0..3_u64 {
+            let queue = Arc::clone(&queue);
+            let mut handle = recorder.handle(t as usize);
+            handles.push(std::thread::spawn(move || {
+                // 2 enqueues + 2 dequeues per thread = 12 ops per window:
+                // well inside the exhaustive checker's comfort zone.
+                for i in 0..2_u64 {
+                    let value = (round << 16) | (t << 8) | i;
+                    handle.enqueue(&*queue, value).unwrap();
+                    handle.dequeue(&*queue);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let history = recorder.finish();
+        assert!(
+            history.check_queue_safety().is_empty(),
+            "{algorithm}: fast checks failed in round {round}"
+        );
+        assert!(
+            is_linearizable_queue(history.events()),
+            "{algorithm}: history not linearizable in round {round}: {:?}",
+            history.events()
+        );
+    }
+}
+
+/// Fast whole-history checks over a larger recorded run.
+fn safe_large_history(algorithm: Algorithm) {
+    let platform = NativePlatform::new();
+    let queue = algorithm.build(&platform, 8_192);
+    let recorder = Recorder::new();
+    let mut handles = Vec::new();
+    for t in 0..4_u64 {
+        let queue = Arc::clone(&queue);
+        let mut handle = recorder.handle(t as usize);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..2_000_u64 {
+                let value = (t << 32) | i;
+                while handle.enqueue(&*queue, value).is_err() {
+                    std::thread::yield_now();
+                }
+                handle.dequeue(&*queue);
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let history = recorder.finish();
+    assert_eq!(history.len(), 4 * 4_000);
+    let violations = history.check_queue_safety();
+    assert!(
+        violations.is_empty(),
+        "{algorithm}: violations: {violations:?}"
+    );
+}
+
+macro_rules! linearizability_tests {
+    ($($name:ident => $alg:expr),+ $(,)?) => {
+        $(
+            mod $name {
+                use super::*;
+
+                #[test]
+                fn small_windows_are_linearizable() {
+                    linearizable_small_windows($alg);
+                }
+
+                #[test]
+                fn large_history_passes_fast_checks() {
+                    safe_large_history($alg);
+                }
+            }
+        )+
+    };
+}
+
+linearizability_tests! {
+    single_lock => Algorithm::SingleLock,
+    mellor_crummey => Algorithm::MellorCrummey,
+    valois => Algorithm::Valois,
+    new_two_lock => Algorithm::NewTwoLock,
+    plj => Algorithm::PljNonBlocking,
+    new_nonblocking => Algorithm::NewNonBlocking,
+}

@@ -1,0 +1,185 @@
+//! Property-based tests: every queue implementation is sequentially
+//! equivalent to the FIFO specification under arbitrary operation
+//! sequences, and the core data words (tagged pointers, arena, rings)
+//! uphold their invariants.
+
+use ms_queues::{Algorithm, ConcurrentWordQueue, NativePlatform, Tagged};
+use ms_queues::{LamportQueue, TreiberStack};
+use ms_queues::linearize::SequentialQueue;
+use ms_queues::platform::ConcurrentStack;
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Enqueue(u64),
+    Dequeue,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(Op::Enqueue),
+        Just(Op::Dequeue),
+    ]
+}
+
+/// Single-threaded model equivalence: the implementation must agree with
+/// the sequential specification on every operation's result.
+fn check_model_equivalence(algorithm: Algorithm, ops: &[Op]) {
+    let platform = NativePlatform::new();
+    let queue = algorithm.build(&platform, 512);
+    let mut spec = SequentialQueue::new();
+    for (step, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Enqueue(value) => {
+                if spec.len() < 512 {
+                    queue
+                        .enqueue(value)
+                        .unwrap_or_else(|e| panic!("{algorithm} step {step}: {e}"));
+                    spec.enqueue(value);
+                }
+            }
+            Op::Dequeue => {
+                assert_eq!(
+                    queue.dequeue(),
+                    spec.dequeue(),
+                    "{algorithm} diverged from spec at step {step}"
+                );
+            }
+        }
+    }
+    // Drain and compare the remainder.
+    loop {
+        let (got, want) = (queue.dequeue(), spec.dequeue());
+        assert_eq!(got, want, "{algorithm} diverged from spec during drain");
+        if want.is_none() {
+            break;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ms_nonblocking_matches_model(ops in prop::collection::vec(op_strategy(), 0..400)) {
+        check_model_equivalence(Algorithm::NewNonBlocking, &ops);
+    }
+
+    #[test]
+    fn two_lock_matches_model(ops in prop::collection::vec(op_strategy(), 0..400)) {
+        check_model_equivalence(Algorithm::NewTwoLock, &ops);
+    }
+
+    #[test]
+    fn single_lock_matches_model(ops in prop::collection::vec(op_strategy(), 0..400)) {
+        check_model_equivalence(Algorithm::SingleLock, &ops);
+    }
+
+    #[test]
+    fn mellor_crummey_matches_model(ops in prop::collection::vec(op_strategy(), 0..400)) {
+        check_model_equivalence(Algorithm::MellorCrummey, &ops);
+    }
+
+    #[test]
+    fn plj_matches_model(ops in prop::collection::vec(op_strategy(), 0..400)) {
+        check_model_equivalence(Algorithm::PljNonBlocking, &ops);
+    }
+
+    #[test]
+    fn valois_matches_model(ops in prop::collection::vec(op_strategy(), 0..400)) {
+        check_model_equivalence(Algorithm::Valois, &ops);
+    }
+
+    #[test]
+    fn lamport_ring_matches_model_with_bound(ops in prop::collection::vec(op_strategy(), 0..400)) {
+        let platform = NativePlatform::new();
+        let ring = LamportQueue::with_capacity(&platform, 16);
+        let mut spec = SequentialQueue::new();
+        for &op in &ops {
+            match op {
+                Op::Enqueue(value) => {
+                    let got = ring.enqueue(value);
+                    if spec.len() < 16 {
+                        prop_assert!(got.is_ok());
+                        spec.enqueue(value);
+                    } else {
+                        prop_assert!(got.is_err(), "full ring must reject");
+                    }
+                }
+                Op::Dequeue => {
+                    prop_assert_eq!(ring.dequeue(), spec.dequeue());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn treiber_stack_matches_vec_model(ops in prop::collection::vec(op_strategy(), 0..400)) {
+        let platform = NativePlatform::new();
+        let stack = TreiberStack::with_capacity(&platform, 256);
+        let mut spec: Vec<u64> = Vec::new();
+        for &op in &ops {
+            match op {
+                Op::Enqueue(value) => {
+                    if spec.len() < 256 {
+                        prop_assert!(stack.push(value).is_ok());
+                        spec.push(value);
+                    }
+                }
+                Op::Dequeue => {
+                    prop_assert_eq!(stack.pop(), spec.pop());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tagged_words_round_trip(index in 0u32..u32::MAX, tag in any::<u32>()) {
+        let word = Tagged::new(index, tag);
+        prop_assert_eq!(word.index(), index);
+        prop_assert_eq!(word.tag(), tag);
+        prop_assert_eq!(Tagged::from_raw(word.raw()), word);
+        let bumped = word.with_index(index);
+        prop_assert_eq!(bumped.tag(), tag.wrapping_add(1));
+        prop_assert_eq!(bumped.index(), index);
+    }
+
+    #[test]
+    fn tagged_words_with_distinct_histories_differ(
+        index in 0u32..1000,
+        tag_a in any::<u32>(),
+        tag_b in any::<u32>(),
+    ) {
+        prop_assume!(tag_a != tag_b);
+        prop_assert_ne!(Tagged::new(index, tag_a), Tagged::new(index, tag_b));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arena conservation under arbitrary alloc/free traffic.
+    #[test]
+    fn arena_never_double_allocates(script in prop::collection::vec(any::<bool>(), 1..200)) {
+        use ms_queues::arena::NodeArena;
+        let platform = NativePlatform::new();
+        let arena = NodeArena::new(&platform, 16);
+        let mut held: Vec<u32> = Vec::new();
+        for take in script {
+            if take {
+                if let Some(node) = arena.alloc() {
+                    prop_assert!(!held.contains(&node), "double allocation");
+                    held.push(node);
+                }
+            } else if let Some(node) = held.pop() {
+                arena.free(node);
+            }
+        }
+        // Everything still accounted for.
+        let mut drained = held.len();
+        while arena.alloc().is_some() {
+            drained += 1;
+        }
+        prop_assert_eq!(drained, 16);
+    }
+}

@@ -1,0 +1,92 @@
+//! The paper's Valois memory-exhaustion observation (Section 1), as a
+//! test: "Because of the pointer held by the delayed process, neither the
+//! node referenced by that pointer nor any of its successors can be
+//! freed. It is therefore possible to run out of memory even if the
+//! number of items in the queue is bounded by a constant."
+//!
+//! Scaled from the paper's 64,000-node/10^7-op experiment to keep CI fast;
+//! `examples/valois_leak.rs` runs the full-size version.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ms_queues::{ConcurrentWordQueue, NativePlatform, ValoisQueue, WordMsQueue};
+
+const POOL: u32 = 2_000;
+const MAX_QUEUE_LEN: u64 = 12;
+
+/// Churns the queue while keeping it at most `MAX_QUEUE_LEN` long.
+/// Returns `Err(ops_done)` on pool exhaustion.
+fn churn(queue: &dyn ConcurrentWordQueue, ops: u64) -> Result<(), u64> {
+    let mut len = 0u64;
+    for i in 0..ops {
+        if len < MAX_QUEUE_LEN {
+            queue.enqueue(i).map_err(|_| i)?;
+            len += 1;
+        } else {
+            assert!(queue.dequeue().is_some(), "queue holds items");
+            len -= 1;
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn stalled_reader_exhausts_valois_pool() {
+    let platform = NativePlatform::new();
+    let queue = Arc::new(ValoisQueue::with_capacity(&platform, POOL));
+    queue.enqueue(u64::MAX).unwrap();
+
+    let pinned = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let queue = Arc::clone(&queue);
+        let pinned = Arc::clone(&pinned);
+        let release = Arc::clone(&release);
+        std::thread::spawn(move || {
+            queue.with_pinned_head(|| {
+                pinned.store(true, Ordering::Release);
+                while !release.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            })
+        })
+    };
+    while !pinned.load(Ordering::Acquire) {
+        std::thread::yield_now();
+    }
+
+    // With one reader stalled, bounded-length churn must exhaust the pool:
+    // every node that passes through the queue lands on the pinned chain.
+    let outcome = churn(&*queue, 100_000);
+    assert!(
+        outcome.is_err(),
+        "pool of {POOL} nodes should be exhausted by a stalled reader"
+    );
+
+    release.store(true, Ordering::Release);
+    reader.join().unwrap();
+
+    // Once the reader lets go the chain unravels and churn succeeds again.
+    while queue.dequeue().is_some() {}
+    churn(&*queue, 100_000).expect("unpinned queue must sustain churn");
+}
+
+#[test]
+fn ms_queue_sustains_the_same_churn_with_a_tiny_pool() {
+    // The contrast the paper draws: the MS queue reuses dequeued nodes
+    // immediately, so max-length + 1 nodes suffice forever.
+    let platform = NativePlatform::new();
+    let queue = WordMsQueue::with_capacity(&platform, (MAX_QUEUE_LEN + 1) as u32);
+    churn(&queue, 1_000_000).expect("MS queue must never exhaust");
+}
+
+#[test]
+fn valois_pool_is_exhausted_only_while_pinned() {
+    // Without any stalled reader the Valois queue also sustains unbounded
+    // churn in a bounded pool (tail keeps getting helped forward, chains
+    // reclaim): the flaw needs a delayed process, matching the paper.
+    let platform = NativePlatform::new();
+    let queue = ValoisQueue::with_capacity(&platform, 64);
+    churn(&queue, 200_000).expect("unpinned Valois queue must sustain churn");
+}
