@@ -270,8 +270,11 @@ mod tests {
     #[test]
     fn concurrent_allocators_never_share_a_node() {
         let a = Arc::new(arena(32));
-        let taken: Arc<Vec<std::sync::atomic::AtomicU32>> =
-            Arc::new((0..32).map(|_| std::sync::atomic::AtomicU32::new(0)).collect());
+        let taken: Arc<Vec<std::sync::atomic::AtomicU32>> = Arc::new(
+            (0..32)
+                .map(|_| std::sync::atomic::AtomicU32::new(0))
+                .collect(),
+        );
         let mut handles = Vec::new();
         for _ in 0..4 {
             let a = Arc::clone(&a);

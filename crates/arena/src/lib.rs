@@ -16,11 +16,17 @@
 //! double-reclamation fix in the spirit of Michael & Scott's TR 599
 //! correction); it exists so the Valois baseline pays the same costs it
 //! paid in the paper's experiments.
+//!
+//! [`SegArena`] generalizes the node pool to whole array *segments* with
+//! per-generation tags on every mutable word, backing the segment-batched
+//! queue variant in `msq-core`.
 
 #![warn(missing_docs)]
 
 mod arena;
+mod seg;
 mod valois;
 
 pub use arena::NodeArena;
+pub use seg::SegArena;
 pub use valois::RcArena;

@@ -63,12 +63,11 @@ impl<P: Platform> PljQueue<P> {
     /// # Panics
     ///
     /// Panics if `capacity + 1` does not fit a tagged index.
-    pub fn with_capacity_and_backoff(
-        platform: &P,
-        capacity: u32,
-        backoff: BackoffConfig,
-    ) -> Self {
-        let arena = NodeArena::new(platform, capacity.checked_add(1).expect("capacity overflow"));
+    pub fn with_capacity_and_backoff(platform: &P, capacity: u32, backoff: BackoffConfig) -> Self {
+        let arena = NodeArena::new(
+            platform,
+            capacity.checked_add(1).expect("capacity overflow"),
+        );
         let dummy = arena.alloc().expect("fresh arena");
         arena.set_next(dummy, NULL_INDEX);
         PljQueue {

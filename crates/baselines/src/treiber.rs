@@ -6,9 +6,7 @@
 //! and for direct benchmarking.
 
 use msq_arena::NodeArena;
-use msq_platform::{
-    AtomicWord, ConcurrentStack, Platform, QueueFull, Tagged, NULL_INDEX,
-};
+use msq_platform::{AtomicWord, ConcurrentStack, Platform, QueueFull, Tagged, NULL_INDEX};
 
 /// A lock-free LIFO stack of `u64` values over a node arena, with counted
 /// top-of-stack pointers against ABA.
@@ -63,8 +61,14 @@ impl<P: Platform> ConcurrentStack for TreiberStack<P> {
         self.arena.set_value(node, value);
         loop {
             let top = Tagged::from_raw(self.top.load());
-            self.arena
-                .set_next(node, if top.is_null() { NULL_INDEX } else { top.index() });
+            self.arena.set_next(
+                node,
+                if top.is_null() {
+                    NULL_INDEX
+                } else {
+                    top.index()
+                },
+            );
             if self.top.cas(top.raw(), top.with_index(node).raw()) {
                 return Ok(());
             }

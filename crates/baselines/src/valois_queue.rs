@@ -56,12 +56,11 @@ impl<P: Platform> ValoisQueue<P> {
     /// # Panics
     ///
     /// Panics if `capacity + 1` does not fit a tagged index.
-    pub fn with_capacity_and_backoff(
-        platform: &P,
-        capacity: u32,
-        backoff: BackoffConfig,
-    ) -> Self {
-        let rc = RcArena::new(platform, capacity.checked_add(1).expect("capacity overflow"));
+    pub fn with_capacity_and_backoff(platform: &P, capacity: u32, backoff: BackoffConfig) -> Self {
+        let rc = RcArena::new(
+            platform,
+            capacity.checked_add(1).expect("capacity overflow"),
+        );
         let dummy = rc.alloc().expect("fresh arena");
         // Head and Tail each hold a counted reference to the dummy; our
         // allocation reference transfers to Head and we add one for Tail.
@@ -130,7 +129,10 @@ impl<P: Platform> ConcurrentWordQueue for ValoisQueue<P> {
                 // word never changes once non-null, so counting the
                 // prospective Tail reference first is safe.
                 self.rc.add_ref(next.index());
-                if self.tail.cas(tail.raw(), tail.with_index(next.index()).raw()) {
+                if self
+                    .tail
+                    .cas(tail.raw(), tail.with_index(next.index()).raw())
+                {
                     self.rc.release(tail.index());
                 } else {
                     self.rc.release(next.index());
@@ -156,7 +158,10 @@ impl<P: Platform> ConcurrentWordQueue for ValoisQueue<P> {
             // Count Head's prospective reference to the successor before
             // the swing, so a racing dequeuer can never drive it to zero.
             self.rc.add_ref(next.index());
-            if self.head.cas(head.raw(), head.with_index(next.index()).raw()) {
+            if self
+                .head
+                .cas(head.raw(), head.with_index(next.index()).raw())
+            {
                 // Head's reference to the old dummy, plus our pin.
                 self.rc.release(head.index());
                 self.rc.release(head.index());

@@ -8,10 +8,13 @@
 //!   hazard pointers + heap allocation (the modern idiomatic variant).
 //! * **Simulated contention with and without backoff** — where backoff
 //!   actually earns its keep.
+//! * **Segment size** — 8/32/128 slots per segment in the seg-batched
+//!   extension: bigger segments amortize link CASes over more `fetch_add`
+//!   claims but waste more space and lengthen the poison scan.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use msq_baselines::SingleLockQueue;
-use msq_core::{MsQueue, WordMsQueue, WordTwoLockQueue};
+use msq_core::{MsQueue, WordMsQueue, WordSegQueue, WordTwoLockQueue};
 use msq_harness::WorkloadConfig;
 use msq_platform::{BackoffConfig, ConcurrentWordQueue, NativePlatform, Platform};
 use msq_sim::{SimConfig, Simulation};
@@ -241,12 +244,60 @@ fn lock_substrates_under_simulated_contention(c: &mut Criterion) {
     group.finish();
 }
 
+fn segment_size(c: &mut Criterion) {
+    // The seg-batched extension's one tuning knob, natively uncontended
+    // and under maximum simulated contention.
+    let mut group = c.benchmark_group("segment_size");
+    group.sample_size(10);
+    let platform = NativePlatform::new();
+    for seg_size in [8_u32, 32, 128] {
+        let queue = WordSegQueue::with_seg_size_and_backoff(
+            &platform,
+            1_024,
+            seg_size,
+            BackoffConfig::DEFAULT,
+        );
+        group.bench_function(format!("native-uncontended/{seg_size}"), |b| {
+            b.iter(|| {
+                queue.enqueue(black_box(5)).unwrap();
+                black_box(queue.dequeue())
+            })
+        });
+        group.bench_function(format!("sim-contended-8p/{seg_size}"), |b| {
+            b.iter(|| {
+                let sim = Simulation::new(SimConfig {
+                    processors: 8,
+                    ..SimConfig::default()
+                });
+                let queue = Arc::new(WordSegQueue::with_seg_size_and_backoff(
+                    &sim.platform(),
+                    1_024,
+                    seg_size,
+                    BackoffConfig::DEFAULT,
+                ));
+                let report = sim.run({
+                    let queue = Arc::clone(&queue);
+                    move |info| {
+                        for i in 0..50_u64 {
+                            queue.enqueue((info.pid as u64) << 32 | i).unwrap();
+                            while queue.dequeue().is_none() {}
+                        }
+                    }
+                });
+                black_box(report.elapsed_ns)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     backoff_on_off_native,
     backoff_under_simulated_contention,
     reclamation_strategies,
     other_work_sensitivity,
-    lock_substrates_under_simulated_contention
+    lock_substrates_under_simulated_contention,
+    segment_size
 );
 criterion_main!(benches);

@@ -1,12 +1,13 @@
-//! Native per-operation costs: uncontended enqueue/dequeue pairs for all
-//! six word queues, the idiomatic heap queues, and third-party
-//! comparators (crossbeam's SegQueue, a mutexed VecDeque). The paper's
-//! "with only one processor ... completion times are very low" anchor.
+//! Native per-operation costs: uncontended enqueue/dequeue pairs for the
+//! six word queues plus the seg-batched extension, the idiomatic heap
+//! queues, and comparators (our segment-batched SegQueue, a mutexed
+//! VecDeque). The paper's "with only one processor ... completion times
+//! are very low" anchor.
 
 use std::collections::VecDeque;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use msq_core::{MsQueue, TwoLockQueue};
+use msq_core::{MsQueue, SegQueue, TwoLockQueue};
 use msq_harness::Algorithm;
 use msq_platform::NativePlatform;
 use std::hint::black_box;
@@ -14,7 +15,7 @@ use std::hint::black_box;
 fn word_queues(c: &mut Criterion) {
     let platform = NativePlatform::new();
     let mut group = c.benchmark_group("uncontended_pair");
-    for algorithm in Algorithm::ALL {
+    for algorithm in Algorithm::WITH_EXTENSIONS {
         let queue = algorithm.build(&platform, 64);
         group.bench_function(algorithm.label(), |b| {
             b.iter(|| {
@@ -42,11 +43,11 @@ fn heap_queues(c: &mut Criterion) {
             black_box(two_lock.dequeue())
         })
     });
-    let seg = crossbeam::queue::SegQueue::new();
-    group.bench_function("crossbeam-seg-queue", |b| {
+    let seg: SegQueue<u64> = SegQueue::new();
+    group.bench_function("seg-queue-hazard", |b| {
         b.iter(|| {
-            seg.push(black_box(7u64));
-            black_box(seg.pop())
+            seg.enqueue(black_box(7u64));
+            black_box(seg.dequeue())
         })
     });
     let mutexed = parking_lot::Mutex::new(VecDeque::new());
@@ -83,6 +84,7 @@ fn contended_native(c: &mut Criterion) {
         Algorithm::SingleLock,
         Algorithm::NewTwoLock,
         Algorithm::NewNonBlocking,
+        Algorithm::SegBatched,
     ] {
         let platform = NativePlatform::new();
         let queue = algorithm.build(&platform, 4_096);

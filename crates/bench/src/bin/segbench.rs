@@ -1,0 +1,176 @@
+//! Headline numbers for the seg-batched extension → `BENCH_segqueue.json`.
+//!
+//! Two comparisons of `seg-batched` (the segment-batched MS queue) against
+//! `new-nonblocking` (the paper's Figure 1 queue):
+//!
+//! 1. **Simulated coherence misses per queue operation** on the
+//!    deterministic multiprocessor at 4 and 8 processors under maximum
+//!    contention (no other work). This is the host-independent metric: a
+//!    `fetch_add` slot claim always succeeds, so the seg-batched fast path
+//!    avoids the failed-CAS re-read traffic the pointer-linked queue pays.
+//! 2. **Native throughput** of an enqueue/dequeue pair, single-threaded
+//!    (this is a per-op cost anchor; on a multicore host the contended
+//!    gap is what the simulator predicts).
+//!
+//! Run from the workspace root: `cargo run --release -p msq-bench --bin
+//! segbench`. Writes `BENCH_segqueue.json` in the current directory.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use msq_harness::Algorithm;
+use msq_platform::NativePlatform;
+use msq_sim::{SimConfig, Simulation};
+
+/// Queue-op pairs each simulated process performs.
+const SIM_PAIRS_PER_PROC: u64 = 200;
+/// Ops per burst: each process alternates bursts of enqueues and
+/// dequeues, the shape batching is designed for (a strict
+/// enqueue-one-dequeue-one ping-pong keeps the queue empty, so every
+/// dequeuer immediately chases the slot its neighbour just claimed).
+const BURST: u64 = 25;
+/// Pairs for the native timing loop.
+const NATIVE_PAIRS: u64 = 2_000_000;
+
+struct SimCell {
+    algorithm: Algorithm,
+    processors: usize,
+    misses_per_op: f64,
+    cas_failures: u64,
+    elapsed_virtual_ns: u64,
+}
+
+fn run_sim_cell(algorithm: Algorithm, processors: usize) -> SimCell {
+    let sim = Simulation::new(SimConfig {
+        processors,
+        ..SimConfig::default()
+    });
+    let queue = algorithm.build(&sim.platform(), 4_096);
+    let report = sim.run({
+        let queue = Arc::clone(&queue);
+        move |info| {
+            for round in 0..SIM_PAIRS_PER_PROC / BURST {
+                for i in 0..BURST {
+                    let payload = ((info.pid as u64) << 32) | (round * BURST + i);
+                    queue.enqueue(payload).unwrap();
+                }
+                for _ in 0..BURST {
+                    while queue.dequeue().is_none() {}
+                }
+            }
+        }
+    });
+    let queue_ops = 2 * SIM_PAIRS_PER_PROC * processors as u64;
+    SimCell {
+        algorithm,
+        processors,
+        misses_per_op: report.cache_misses as f64 / queue_ops as f64,
+        cas_failures: report.cas_failures,
+        elapsed_virtual_ns: report.elapsed_ns,
+    }
+}
+
+fn native_pairs_per_sec(algorithm: Algorithm) -> f64 {
+    let platform = NativePlatform::new();
+    let queue = algorithm.build(&platform, 4_096);
+    // Warm up allocations and branch predictors.
+    for i in 0..10_000_u64 {
+        queue.enqueue(i).unwrap();
+        queue.dequeue();
+    }
+    let start = Instant::now();
+    for i in 0..NATIVE_PAIRS {
+        queue.enqueue(i).unwrap();
+        std::hint::black_box(queue.dequeue());
+    }
+    NATIVE_PAIRS as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let contenders = [Algorithm::NewNonBlocking, Algorithm::SegBatched];
+
+    let mut sim_cells = Vec::new();
+    for processors in [4_usize, 8] {
+        for algorithm in contenders {
+            let cell = run_sim_cell(algorithm, processors);
+            eprintln!(
+                "sim {}p {:<16} {:.2} misses/op, {} CAS failures, {} virtual ns",
+                processors,
+                cell.algorithm.label(),
+                cell.misses_per_op,
+                cell.cas_failures,
+                cell.elapsed_virtual_ns
+            );
+            sim_cells.push(cell);
+        }
+    }
+
+    let mut native = Vec::new();
+    for algorithm in contenders {
+        let pairs_per_sec = native_pairs_per_sec(algorithm);
+        eprintln!(
+            "native {:<16} {:.0} pairs/sec",
+            algorithm.label(),
+            pairs_per_sec
+        );
+        native.push((algorithm, pairs_per_sec));
+    }
+
+    // Ratios the acceptance criteria care about: seg-batched must show
+    // >= 2x fewer misses per op than the pointer-linked queue.
+    let mut ratios = Vec::new();
+    for processors in [4_usize, 8] {
+        let ms = sim_cells
+            .iter()
+            .find(|c| c.processors == processors && c.algorithm == Algorithm::NewNonBlocking)
+            .unwrap();
+        let seg = sim_cells
+            .iter()
+            .find(|c| c.processors == processors && c.algorithm == Algorithm::SegBatched)
+            .unwrap();
+        let ratio = ms.misses_per_op / seg.misses_per_op;
+        eprintln!("sim {processors}p miss ratio (ms/seg): {ratio:.2}x");
+        ratios.push((processors, ratio));
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"seg-batched vs new-nonblocking; sim misses/op at max contention, native single-thread pairs/sec\","
+    );
+    let _ = writeln!(json, "  \"sim_pairs_per_proc\": {SIM_PAIRS_PER_PROC},");
+    json.push_str("  \"sim\": [\n");
+    for (i, cell) in sim_cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"algorithm\": \"{}\", \"processors\": {}, \"misses_per_op\": {:.3}, \"cas_failures\": {}, \"elapsed_virtual_ns\": {}}}{}",
+            cell.algorithm.label(),
+            cell.processors,
+            cell.misses_per_op,
+            cell.cas_failures,
+            cell.elapsed_virtual_ns,
+            if i + 1 == sim_cells.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n  \"miss_ratio_ms_over_seg\": {");
+    let _ = writeln!(
+        json,
+        "\"4\": {:.2}, \"8\": {:.2}}},",
+        ratios[0].1, ratios[1].1
+    );
+    json.push_str("  \"native_single_thread\": [\n");
+    for (i, (algorithm, pairs_per_sec)) in native.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"algorithm\": \"{}\", \"pairs_per_sec\": {:.0}}}{}",
+            algorithm.label(),
+            pairs_per_sec,
+            if i + 1 == native.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_segqueue.json", &json).expect("write BENCH_segqueue.json");
+    println!("{json}");
+}

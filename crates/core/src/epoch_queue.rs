@@ -14,6 +14,7 @@ use std::sync::atomic::Ordering;
 
 use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
 use crossbeam_utils::CachePadded;
+use msq_platform::{Backoff, BackoffConfig, NativePlatform};
 
 struct Node<T> {
     /// Initialized for every node except the current dummy.
@@ -39,17 +40,26 @@ struct Node<T> {
 pub struct EpochMsQueue<T> {
     head: CachePadded<Atomic<Node<T>>>,
     tail: CachePadded<Atomic<Node<T>>>,
+    backoff: BackoffConfig,
 }
 
 unsafe impl<T: Send> Send for EpochMsQueue<T> {}
 unsafe impl<T: Send> Sync for EpochMsQueue<T> {}
 
 impl<T> EpochMsQueue<T> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with [`BackoffConfig::DEFAULT`] applied to
+    /// contended CAS retries.
     pub fn new() -> Self {
+        EpochMsQueue::with_backoff(BackoffConfig::DEFAULT)
+    }
+
+    /// Creates an empty queue with explicit backoff parameters, mirroring
+    /// the word-level queues' constructor shape.
+    pub fn with_backoff(backoff: BackoffConfig) -> Self {
         let queue = EpochMsQueue {
             head: CachePadded::new(Atomic::null()),
             tail: CachePadded::new(Atomic::null()),
+            backoff,
         };
         let dummy = Owned::new(Node {
             value: MaybeUninit::uninit(),
@@ -69,6 +79,7 @@ impl<T> EpochMsQueue<T> {
             value: MaybeUninit::new(value),
             next: Atomic::null(),
         });
+        let mut backoff = Backoff::new(self.backoff);
         loop {
             let tail = self.tail.load(Ordering::Acquire, &guard);
             // Safety: epoch-pinned; tail is never null after construction.
@@ -104,7 +115,7 @@ impl<T> EpochMsQueue<T> {
                 }
                 Err(error) => {
                     node = error.new;
-                    std::hint::spin_loop();
+                    backoff.spin(&NativePlatform::new());
                 }
             }
         }
@@ -114,6 +125,7 @@ impl<T> EpochMsQueue<T> {
     /// Lock-free.
     pub fn dequeue(&self) -> Option<T> {
         let guard = epoch::pin();
+        let mut backoff = Backoff::new(self.backoff);
         loop {
             let head = self.head.load(Ordering::Acquire, &guard);
             // Safety: epoch-pinned; head is never null.
@@ -147,7 +159,8 @@ impl<T> EpochMsQueue<T> {
                 unsafe { guard.defer_destroy(head) };
                 return Some(value);
             }
-            std::hint::spin_loop();
+            // Lost the head race to another dequeuer.
+            backoff.spin(&NativePlatform::new());
         }
     }
 

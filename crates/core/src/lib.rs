@@ -23,6 +23,16 @@
 //! * [`LockFreeStack`] — Treiber's stack (the paper's free-list
 //!   algorithm) as a generic structure.
 //!
+//! Beyond the paper, the crate adds a segment-batched variant of the
+//! non-blocking queue in both flavours:
+//!
+//! * [`SegQueue`] — heap-allocated `SegQueue<T>`: the Michael–Scott list
+//!   where each node is a fixed-size array segment, so the link/unlink
+//!   CASes amortize over `SegConfig::seg_size` operations; and
+//! * [`WordSegQueue`] — the same algorithm over the `Platform`
+//!   abstraction (arena-backed, tagged indices), so it runs inside the
+//!   `msq-sim` coherence simulator next to the paper's six algorithms.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -54,16 +64,20 @@
 
 mod epoch_queue;
 mod ms_queue;
+mod seg_queue;
 pub mod spsc;
 mod stack;
 mod two_lock_queue;
 mod word_ms;
+mod word_seg;
 mod word_two_lock;
 
 pub use epoch_queue::EpochMsQueue;
 pub use ms_queue::MsQueue;
+pub use seg_queue::{SegConfig, SegQueue, SegStats};
 pub use spsc::channel as spsc_channel;
 pub use stack::LockFreeStack;
 pub use two_lock_queue::TwoLockQueue;
 pub use word_ms::WordMsQueue;
+pub use word_seg::WordSegQueue;
 pub use word_two_lock::WordTwoLockQueue;

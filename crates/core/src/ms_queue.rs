@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicPtr, Ordering};
 
 use crossbeam_utils::CachePadded;
 use msq_hazard::{PooledHazard, GLOBAL_DOMAIN};
+use msq_platform::{Backoff, BackoffConfig, NativePlatform};
 
 struct Node<T> {
     /// Initialized for every node except the current dummy: a node's value
@@ -46,18 +47,28 @@ impl<T> Node<T> {
 pub struct MsQueue<T> {
     head: CachePadded<AtomicPtr<Node<T>>>,
     tail: CachePadded<AtomicPtr<Node<T>>>,
+    backoff: BackoffConfig,
 }
 
 unsafe impl<T: Send> Send for MsQueue<T> {}
 unsafe impl<T: Send> Sync for MsQueue<T> {}
 
 impl<T> MsQueue<T> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with [`BackoffConfig::DEFAULT`] applied to
+    /// contended CAS retries.
     pub fn new() -> Self {
+        MsQueue::with_backoff(BackoffConfig::DEFAULT)
+    }
+
+    /// Creates an empty queue with explicit backoff parameters, the same
+    /// knob the word-level queues expose (the ablation benches pass
+    /// [`BackoffConfig::DISABLED`]).
+    pub fn with_backoff(backoff: BackoffConfig) -> Self {
         let dummy = Node::dummy();
         MsQueue {
             head: CachePadded::new(AtomicPtr::new(dummy)),
             tail: CachePadded::new(AtomicPtr::new(dummy)),
+            backoff,
         }
     }
 
@@ -70,6 +81,7 @@ impl<T> MsQueue<T> {
             next: AtomicPtr::new(ptr::null_mut()),
         }));
         let mut hazard = PooledHazard::acquire(&GLOBAL_DOMAIN);
+        let mut backoff = Backoff::new(self.backoff);
         loop {
             // Protect Tail so dereferencing it for `next` is safe even if a
             // concurrent dequeue retires the node.
@@ -82,30 +94,25 @@ impl<T> MsQueue<T> {
             if next.is_null() {
                 // Tail was pointing at the last node: link ours (E9).
                 if unsafe { &(*tail).next }
-                    .compare_exchange(
-                        ptr::null_mut(),
-                        node,
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                    )
+                    .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
                     // E13: swing Tail to the inserted node (best effort).
-                    let _ = self.tail.compare_exchange(
-                        tail,
-                        node,
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                    );
+                    let _ =
+                        self.tail
+                            .compare_exchange(tail, node, Ordering::AcqRel, Ordering::Acquire);
                     return;
                 }
+                // E9 lost: another enqueuer linked first — the contended
+                // case the paper applies backoff to.
+                backoff.spin(&NativePlatform::new());
             } else {
-                // E12: help a lagging Tail forward.
-                let _ =
-                    self.tail
-                        .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
+                // E12: help a lagging Tail forward (no backoff: helping is
+                // progress, not contention).
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
             }
-            std::hint::spin_loop();
         }
     }
 
@@ -114,6 +121,7 @@ impl<T> MsQueue<T> {
     pub fn dequeue(&self) -> Option<T> {
         let mut head_hazard = PooledHazard::acquire(&GLOBAL_DOMAIN);
         let mut next_hazard = PooledHazard::acquire(&GLOBAL_DOMAIN);
+        let mut backoff = Backoff::new(self.backoff);
         loop {
             let head = head_hazard.protect(&self.head);
             let tail = self.tail.load(Ordering::Acquire);
@@ -132,9 +140,9 @@ impl<T> MsQueue<T> {
             }
             if head == tail {
                 // Tail is falling behind (D9): help it.
-                let _ =
-                    self.tail
-                        .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
                 continue;
             }
             if self
@@ -160,7 +168,8 @@ impl<T> MsQueue<T> {
                 unsafe { GLOBAL_DOMAIN.retire(head) };
                 return Some(value);
             }
-            std::hint::spin_loop();
+            // D12 lost: another dequeuer swung Head first.
+            backoff.spin(&NativePlatform::new());
         }
     }
 

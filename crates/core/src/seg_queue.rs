@@ -1,0 +1,861 @@
+//! `SegQueue<T>`: the Michael–Scott queue with array-segment batching.
+//!
+//! The paper's non-blocking queue pays one CAS-contended linked-list link
+//! per enqueue and one per dequeue, and every operation bounces the
+//! `Head`/`Tail` cache lines. This variant keeps the paper's *list*
+//! structure — a singly-linked chain with `Head`/`Tail` pointers, MS-style
+//! helping, and hazard-pointer reclamation — but makes each list node a
+//! fixed-size **segment** of slots. On the fast path an enqueuer claims a
+//! slot with a single `fetch_add` on the tail segment's claim counter and
+//! a dequeuer claims one with a CAS on the head segment's dequeue index;
+//! the expensive MS CAS-append/CAS-unlink machinery runs only once every
+//! `seg_size` operations, when a segment fills or drains.
+//!
+//! Drained segments are retired through the `msq-hazard` global domain, or
+//! — in the spirit of the paper's type-stable node free list — recycled
+//! through a bounded Treiber-stack pool when no hazard slot mentions them.
+//!
+//! # Linearizability sketch
+//!
+//! Within one segment, slot indices are handed out in order by `fetch_add`
+//! and consumed in the same order by the dequeue index, so *slot order is
+//! linearization order*. An enqueue linearizes at its successful
+//! `EMPTY → FULL` slot publication (a claim that a lagging dequeuer
+//! poisoned is a non-event; the enqueuer takes its value back and
+//! re-claims). A dequeue linearizes at its winning CAS on the dequeue
+//! index. Across segments, a slot in segment *n+1* can only be claimed
+//! after segment *n* filled (the append CAS orders them), so segment order
+//! extends slot order. The empty case linearizes at the observation
+//! `claims ≤ deq_idx ∧ next == null` made while the head segment is
+//! verifiably still the head — see [`SegQueue::dequeue`] for why the pool
+//! cannot violate that verification.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+
+use crossbeam_utils::CachePadded;
+use msq_hazard::{PooledHazard, GLOBAL_DOMAIN};
+use msq_platform::{Backoff, BackoffConfig, NativePlatform};
+
+use crate::stack::LockFreeStack;
+
+/// Slot has never held a value (or its claim was taken back).
+const EMPTY: u8 = 0;
+/// Slot holds a value, published and not yet consumed.
+const FULL: u8 = 1;
+/// Slot is used up: consumed by a dequeuer, or poisoned past a stalled
+/// enqueuer.
+const TAKEN: u8 = 2;
+
+/// How many times a dequeuer re-reads a claimed-but-unpublished slot
+/// before poisoning it and moving on.
+const POISON_PATIENCE: usize = 64;
+
+/// Tuning knobs for [`SegQueue`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegConfig {
+    /// Slots per segment. Larger segments amortize the MS link/unlink CAS
+    /// over more operations but waste more memory on a near-empty queue.
+    pub seg_size: usize,
+    /// Maximum drained segments kept for reuse (the node-pool analogue of
+    /// the paper's free list). `0` retires every drained segment.
+    pub pool_limit: usize,
+    /// Backoff applied to contended CAS retry loops.
+    pub backoff: BackoffConfig,
+}
+
+impl SegConfig {
+    /// The defaults: 32-slot segments, up to 8 pooled segments, standard
+    /// backoff.
+    pub const DEFAULT: SegConfig = SegConfig {
+        seg_size: 32,
+        pool_limit: 8,
+        backoff: BackoffConfig::DEFAULT,
+    };
+}
+
+impl Default for SegConfig {
+    fn default() -> Self {
+        SegConfig::DEFAULT
+    }
+}
+
+/// Segment lifecycle counters, for tests and diagnostics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SegStats {
+    /// Segments allocated fresh from the heap.
+    pub segs_allocated: usize,
+    /// Drained segments recycled through the pool.
+    pub segs_pooled: usize,
+    /// Drained segments handed to the hazard domain for destruction.
+    pub segs_retired: usize,
+}
+
+struct Slot<T> {
+    state: AtomicU8,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+struct Segment<T> {
+    /// Next slot index to hand to an enqueuer; grows past `seg_size` when
+    /// the segment is full (the overshoot routes claimants to the append
+    /// path).
+    enq_count: CachePadded<AtomicUsize>,
+    /// Next slot index a dequeuer will consume.
+    deq_idx: CachePadded<AtomicUsize>,
+    next: AtomicPtr<Segment<T>>,
+    slots: Box<[Slot<T>]>,
+    /// Back-pointer to the owning queue's free list, so the hazard
+    /// domain's deleter can recycle a retired segment instead of freeing
+    /// it. `Weak`: the domain may outlive the queue.
+    pool: Weak<SegPool<T>>,
+}
+
+impl<T> Segment<T> {
+    fn new(seg_size: usize, pool: Weak<SegPool<T>>) -> Box<Segment<T>> {
+        let slots = (0..seg_size)
+            .map(|_| Slot {
+                state: AtomicU8::new(EMPTY),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Box::new(Segment {
+            enq_count: CachePadded::new(AtomicUsize::new(0)),
+            deq_idx: CachePadded::new(AtomicUsize::new(0)),
+            next: AtomicPtr::new(ptr::null_mut()),
+            slots,
+            pool,
+        })
+    }
+
+    /// Returns a drained segment to its pristine state. Caller must hold
+    /// the only logical reference (unlinked, unpooled, unprotected).
+    fn reset(&self) {
+        for slot in self.slots.iter() {
+            slot.state.store(EMPTY, Ordering::Relaxed);
+        }
+        self.enq_count.store(0, Ordering::Relaxed);
+        self.deq_idx.store(0, Ordering::Relaxed);
+        self.next.store(ptr::null_mut(), Ordering::Release);
+    }
+}
+
+impl<T> Drop for Segment<T> {
+    fn drop(&mut self) {
+        for slot in self.slots.iter() {
+            if slot.state.load(Ordering::Acquire) == FULL {
+                // Safety: FULL means a value was published and never
+                // consumed; we hold the segment exclusively.
+                unsafe { ptr::drop_in_place((*slot.value.get()).as_mut_ptr()) };
+            }
+        }
+    }
+}
+
+/// Raw segment pointer made `Send` so the Treiber pool can hold it. The
+/// queue owns pooled segments exclusively (no value is ever reachable
+/// through them).
+struct SegPtr<T>(*mut Segment<T>);
+unsafe impl<T: Send> Send for SegPtr<T> {}
+
+/// The bounded segment free list — the paper's type-stable node pool at
+/// segment granularity. Shared (`Arc`) between the queue and the hazard
+/// domain's deleter, which returns retired segments here once the last
+/// hazard protecting them clears.
+struct SegPool<T> {
+    stack: LockFreeStack<SegPtr<T>>,
+    len: AtomicUsize,
+    limit: usize,
+    /// Lifetime count of segments recycled through the pool.
+    pooled: AtomicUsize,
+}
+
+unsafe impl<T: Send> Send for SegPool<T> {}
+unsafe impl<T: Send> Sync for SegPool<T> {}
+
+impl<T> SegPool<T> {
+    fn new(limit: usize) -> Arc<SegPool<T>> {
+        Arc::new(SegPool {
+            stack: LockFreeStack::new(),
+            len: AtomicUsize::new(0),
+            limit,
+            pooled: AtomicUsize::new(0),
+        })
+    }
+
+    /// Resets and pools `seg`, taking ownership, if there is room.
+    /// Returns `false` (ownership **not** taken) when the pool is full.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold the only logical reference to `seg`: unlinked
+    /// (or never published), out of the pool, and unprotected by any
+    /// hazard.
+    unsafe fn try_put(&self, seg: *mut Segment<T>) -> bool {
+        if self.len.load(Ordering::Relaxed) >= self.limit {
+            return false;
+        }
+        // Safety: exclusive per the contract above.
+        unsafe { (*seg).reset() };
+        self.len.fetch_add(1, Ordering::Relaxed);
+        self.pooled.fetch_add(1, Ordering::SeqCst);
+        self.stack.push(SegPtr(seg));
+        true
+    }
+
+    /// Whether the pool has room for another segment. Advisory — racy by
+    /// nature, used only to decide whether an eager reclamation pass is
+    /// worth the scan.
+    fn has_room(&self) -> bool {
+        self.len.load(Ordering::Relaxed) < self.limit
+    }
+
+    fn take(&self) -> Option<Box<Segment<T>>> {
+        let SegPtr(p) = self.stack.pop()?;
+        self.len.fetch_sub(1, Ordering::Relaxed);
+        // Safety: pooled segments are fully reset and unreachable from
+        // any live list; popping transfers sole ownership to us.
+        Some(unsafe { Box::from_raw(p) })
+    }
+}
+
+impl<T> Drop for SegPool<T> {
+    fn drop(&mut self) {
+        // Pooled segments hold no values; free the allocations.
+        while let Some(SegPtr(p)) = self.stack.pop() {
+            // Safety: sole owner at drop time.
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
+}
+
+/// Destructor the hazard domain runs once a retired segment is no longer
+/// protected: recycle it through its queue's pool when the queue is still
+/// alive and the pool has room, free it otherwise.
+unsafe fn retire_segment<T>(ptr: *mut u8) {
+    let seg = ptr.cast::<Segment<T>>();
+    // Safety (deref): the domain guarantees `ptr` is live and this runs
+    // exactly once, with no hazard protecting the segment — we are the
+    // sole owner.
+    if let Some(pool) = unsafe { &*seg }.pool.upgrade() {
+        // Safety (try_put): sole ownership, as above.
+        if unsafe { pool.try_put(seg) } {
+            return;
+        }
+    }
+    // Safety: sole owner; allocated by `Box::into_raw`.
+    drop(unsafe { Box::from_raw(seg) });
+}
+
+/// An unbounded MPMC FIFO queue of array segments — the Michael–Scott
+/// algorithm with its per-operation link CASes batched away.
+///
+/// # Example
+///
+/// ```
+/// use msq_core::SegQueue;
+///
+/// let queue = SegQueue::new();
+/// queue.enqueue("a");
+/// queue.enqueue("b");
+/// assert_eq!(queue.dequeue(), Some("a"));
+/// assert_eq!(queue.dequeue(), Some("b"));
+/// assert_eq!(queue.dequeue(), None);
+/// ```
+pub struct SegQueue<T> {
+    head: CachePadded<AtomicPtr<Segment<T>>>,
+    tail: CachePadded<AtomicPtr<Segment<T>>>,
+    pool: Arc<SegPool<T>>,
+    config: SegConfig,
+    segs_allocated: AtomicUsize,
+    segs_retired: AtomicUsize,
+}
+
+unsafe impl<T: Send> Send for SegQueue<T> {}
+unsafe impl<T: Send> Sync for SegQueue<T> {}
+
+impl<T> SegQueue<T> {
+    /// Creates an empty queue with [`SegConfig::DEFAULT`].
+    pub fn new() -> Self {
+        SegQueue::with_config(SegConfig::DEFAULT)
+    }
+
+    /// Creates an empty queue with explicit tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.seg_size == 0`.
+    pub fn with_config(config: SegConfig) -> Self {
+        assert!(config.seg_size > 0, "segments need at least one slot");
+        let pool = SegPool::new(config.pool_limit);
+        let first = Box::into_raw(Segment::new(config.seg_size, Arc::downgrade(&pool)));
+        SegQueue {
+            head: CachePadded::new(AtomicPtr::new(first)),
+            tail: CachePadded::new(AtomicPtr::new(first)),
+            pool,
+            config,
+            segs_allocated: AtomicUsize::new(1),
+            segs_retired: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configuration this queue was built with.
+    pub fn config(&self) -> SegConfig {
+        self.config
+    }
+
+    /// Segment lifecycle counters (allocated / pooled / retired).
+    pub fn stats(&self) -> SegStats {
+        SegStats {
+            segs_allocated: self.segs_allocated.load(Ordering::SeqCst),
+            segs_pooled: self.pool.pooled.load(Ordering::SeqCst),
+            segs_retired: self.segs_retired.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Appends `value` to the tail. Lock-free; the common case is one
+    /// `fetch_add` plus one uncontended slot CAS.
+    pub fn enqueue(&self, mut value: T) {
+        let k = self.config.seg_size;
+        let mut hazard = PooledHazard::acquire(&GLOBAL_DOMAIN);
+        let mut backoff = Backoff::new(self.config.backoff);
+        // A segment we allocated (or pooled) for an append that lost its
+        // race, kept for the next attempt instead of churning the pool.
+        let mut spare: Option<Box<Segment<T>>> = None;
+        loop {
+            // `protect` re-validates `tail == seg`, so a segment observed
+            // here was reachable after our hazard was visible: the unlink
+            // path's hazard scan keeps it out of the pool (it is retired
+            // instead), making use-after-recycle impossible.
+            let seg = hazard.protect(&self.tail);
+            let seg_ref = unsafe { &*seg };
+
+            // Fast path: claim a slot with a single fetch_add — the only
+            // access most enqueues make to the shared counter (a pre-read
+            // would cost an extra coherence miss on the hottest word). On
+            // a full segment the increment is wasted but harmless: it
+            // overshoots by at most one per contending enqueuer per
+            // retry, and the overshoot routes everyone to the append
+            // path, which replaces the segment.
+            let t = seg_ref.enq_count.fetch_add(1, Ordering::AcqRel);
+            if t < k {
+                let slot = &seg_ref.slots[t];
+                // Safety: `fetch_add` hands index `t` to us alone; no
+                // dequeuer touches the cell before seeing FULL.
+                unsafe { (*slot.value.get()).write(value) };
+                match slot
+                    .state
+                    .compare_exchange(EMPTY, FULL, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => {
+                        if let Some(unused) = spare {
+                            self.pool_or_free(unused);
+                        }
+                        return;
+                    }
+                    Err(_) => {
+                        // A dequeuer gave up on us and poisoned the
+                        // slot (EMPTY → TAKEN). The claim is a
+                        // non-event: take the value back and re-claim.
+                        // Safety: a poisoned slot is never read by
+                        // dequeuers, so the value is still exclusively
+                        // ours.
+                        value = unsafe { (*slot.value.get()).assume_init_read() };
+                        backoff.spin(&NativePlatform::new());
+                        continue;
+                    }
+                }
+            }
+
+            // Slow path: the tail segment is full. Help or append, exactly
+            // as the paper's enqueue helps or links (E9/E12).
+            let next = seg_ref.next.load(Ordering::Acquire);
+            if !next.is_null() {
+                // E12: tail is lagging; help swing it and retry.
+                let _ = self
+                    .tail
+                    .compare_exchange(seg, next, Ordering::AcqRel, Ordering::Acquire);
+                continue;
+            }
+
+            // Pre-install our value in slot 0 of a fresh segment, so the
+            // append CAS is also the enqueue's linearization point.
+            let fresh = spare.take().unwrap_or_else(|| self.alloc_segment());
+            // Safety: `fresh` is unpublished; we own it exclusively.
+            unsafe { (*fresh.slots[0].value.get()).write(value) };
+            fresh.slots[0].state.store(FULL, Ordering::Relaxed);
+            fresh.enq_count.store(1, Ordering::Relaxed);
+            let fresh_ptr = Box::into_raw(fresh);
+
+            match seg_ref.next.compare_exchange(
+                ptr::null_mut(),
+                fresh_ptr,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    // E13 analogue: swing tail to the new segment,
+                    // best-effort.
+                    let _ = self.tail.compare_exchange(
+                        seg,
+                        fresh_ptr,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                    return;
+                }
+                Err(_) => {
+                    // Another appender won. Reclaim our segment and value.
+                    // Safety: the CAS failed, so `fresh_ptr` was never
+                    // published; we still own it exclusively.
+                    let fresh = unsafe { Box::from_raw(fresh_ptr) };
+                    value = unsafe { (*fresh.slots[0].value.get()).assume_init_read() };
+                    fresh.slots[0].state.store(EMPTY, Ordering::Relaxed);
+                    fresh.enq_count.store(0, Ordering::Relaxed);
+                    spare = Some(fresh);
+                    backoff.spin(&NativePlatform::new());
+                }
+            }
+        }
+    }
+
+    /// Removes the value at the head, or returns `None` if the queue is
+    /// empty. Lock-free; the common case is one CAS on the head segment's
+    /// dequeue index.
+    pub fn dequeue(&self) -> Option<T> {
+        let k = self.config.seg_size;
+        let mut hazard = PooledHazard::acquire(&GLOBAL_DOMAIN);
+        let mut backoff = Backoff::new(self.config.backoff);
+        loop {
+            let seg = hazard.protect(&self.head);
+            let seg_ref = unsafe { &*seg };
+            let d = seg_ref.deq_idx.load(Ordering::Acquire);
+
+            if d >= k {
+                // Segment fully consumed: unlink it, as the paper's
+                // dequeue retires its dummy (D19/D20).
+                let next = seg_ref.next.load(Ordering::Acquire);
+                if next.is_null() {
+                    // Empty, provided this segment is still the head. The
+                    // hazard re-validation in `protect` plus the
+                    // retire-don't-pool rule for protected segments means
+                    // head == seg here implies seg was head continuously
+                    // since `protect`, so the null `next` read is a true
+                    // empty observation — the linearization point.
+                    if self.head.load(Ordering::SeqCst) == seg {
+                        return None;
+                    }
+                    continue;
+                }
+                // Keep the MS invariant that head never passes tail
+                // (D10): help tail off this segment first.
+                let tail = self.tail.load(Ordering::SeqCst);
+                if tail == seg {
+                    let _ =
+                        self.tail
+                            .compare_exchange(seg, next, Ordering::AcqRel, Ordering::Acquire);
+                }
+                if self
+                    .head
+                    .compare_exchange(seg, next, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    // We unlinked `seg`; clear our own hazard before the
+                    // pool-vs-retire decision so we don't see ourselves.
+                    hazard.clear();
+                    self.recycle_unlinked(seg);
+                }
+                continue;
+            }
+
+            let slot = &seg_ref.slots[d];
+            match slot.state.load(Ordering::Acquire) {
+                FULL => {
+                    if seg_ref
+                        .deq_idx
+                        .compare_exchange(d, d + 1, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        // Winning the index CAS grants exclusive ownership
+                        // of slot `d`.
+                        // Safety: FULL ⇒ the value is published; only the
+                        // CAS winner reads it.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.state.store(TAKEN, Ordering::Release);
+                        return Some(value);
+                    }
+                    backoff.spin(&NativePlatform::new());
+                }
+                TAKEN => {
+                    // Poisoned (or a racing helper); step over it.
+                    let _ = seg_ref.deq_idx.compare_exchange(
+                        d,
+                        d + 1,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                }
+                _ => {
+                    let claims = seg_ref.enq_count.load(Ordering::Acquire);
+                    if claims <= d {
+                        // No claim covers slot `d`, so slots d.. are all
+                        // unclaimed, and claims < seg_size means no append
+                        // ever happened: queue empty if still the head
+                        // (same argument as above).
+                        if seg_ref.next.load(Ordering::Acquire).is_null()
+                            && self.head.load(Ordering::SeqCst) == seg
+                        {
+                            return None;
+                        }
+                        continue;
+                    }
+                    // An enqueuer claimed slot `d` but hasn't published.
+                    // Wait briefly, then poison the slot so one stalled
+                    // enqueuer cannot block every dequeuer (the claimant
+                    // detects the poison and re-claims elsewhere).
+                    let mut published = false;
+                    for _ in 0..POISON_PATIENCE {
+                        if slot.state.load(Ordering::Acquire) != EMPTY {
+                            published = true;
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                    if !published {
+                        let _ = slot.state.compare_exchange(
+                            EMPTY,
+                            TAKEN,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                    }
+                    // Re-loop to handle whatever state the slot is in now.
+                }
+            }
+        }
+    }
+
+    /// Whether the queue appears empty at some instant.
+    pub fn is_empty(&self) -> bool {
+        let mut hazard = PooledHazard::acquire(&GLOBAL_DOMAIN);
+        loop {
+            let seg = hazard.protect(&self.head);
+            let seg_ref = unsafe { &*seg };
+            let d = seg_ref.deq_idx.load(Ordering::Acquire);
+            let claims = seg_ref.enq_count.load(Ordering::Acquire);
+            let has_next = !seg_ref.next.load(Ordering::Acquire).is_null();
+            if self.head.load(Ordering::SeqCst) != seg {
+                continue;
+            }
+            return !has_next && claims.min(self.config.seg_size) <= d;
+        }
+    }
+
+    fn alloc_segment(&self) -> Box<Segment<T>> {
+        if let Some(seg) = self.pool.take() {
+            return seg;
+        }
+        self.segs_allocated.fetch_add(1, Ordering::SeqCst);
+        Segment::new(self.config.seg_size, Arc::downgrade(&self.pool))
+    }
+
+    /// Disposes of a segment we just unlinked from the head: straight back
+    /// to the pool when no hazard mentions it, otherwise through the
+    /// hazard domain — whose deleter *also* recycles it into the pool once
+    /// the last hazard clears, so segments stay type-stable either way.
+    fn recycle_unlinked(&self, seg: *mut Segment<T>) {
+        if !GLOBAL_DOMAIN.is_protected(seg.cast()) {
+            // Safety: unlinked by us and unprotected by anyone who could
+            // still act on it (every reader re-validates reachability
+            // after publishing its hazard), so we hold the only logical
+            // reference.
+            if unsafe { self.pool.try_put(seg) } {
+                return;
+            }
+        }
+        self.segs_retired.fetch_add(1, Ordering::SeqCst);
+        // Safety: unlinked and never retired before; the domain runs
+        // `retire_segment` exactly once, after no hazard mentions it.
+        unsafe { GLOBAL_DOMAIN.retire_with(seg.cast(), retire_segment::<T>) };
+        // We are the thread that retires segments, so they queue on OUR
+        // local retired list; left alone they surface only every
+        // SCAN_THRESHOLD retirements, in bursts the bounded pool cannot
+        // absorb. Flush eagerly while the pool wants segments — the scan
+        // is cheap (hazard slots are few) and runs on the once-per-
+        // `seg_size` unlink path, never per operation.
+        if self.pool.has_room() {
+            GLOBAL_DOMAIN.eager_scan();
+        }
+    }
+
+    fn pool_or_free(&self, seg: Box<Segment<T>>) {
+        let raw = Box::into_raw(seg);
+        // Safety: never published; exclusively ours.
+        if !unsafe { self.pool.try_put(raw) } {
+            // Safety: ownership was not taken; free the allocation.
+            drop(unsafe { Box::from_raw(raw) });
+        }
+    }
+}
+
+impl<T> Default for SegQueue<T> {
+    fn default() -> Self {
+        SegQueue::new()
+    }
+}
+
+impl<T> std::fmt::Debug for SegQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegQueue")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<T> Drop for SegQueue<T> {
+    fn drop(&mut self) {
+        // Exclusive access: walk the chain dropping unconsumed values.
+        let mut seg = *self.head.get_mut();
+        while !seg.is_null() {
+            // Safety: we own the whole chain exclusively in Drop.
+            let boxed = unsafe { Box::from_raw(seg) };
+            seg = boxed.next.load(Ordering::Relaxed);
+            drop(boxed); // Segment::drop releases FULL values
+        }
+        // Pooled segments (which hold no values) free when the pool's last
+        // `Arc` drops; segments still pending in the hazard domain free
+        // themselves once their `Weak` back-pointer stops upgrading.
+    }
+}
+
+impl<T> FromIterator<T> for SegQueue<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let queue = SegQueue::new();
+        for value in iter {
+            queue.enqueue(value);
+        }
+        queue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = SegQueue::new();
+        for i in 0..100 {
+            q.enqueue(i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn fifo_order_across_many_segments() {
+        let q = SegQueue::with_config(SegConfig {
+            seg_size: 4,
+            ..SegConfig::DEFAULT
+        });
+        for i in 0..1000 {
+            q.enqueue(i);
+        }
+        for i in 0..1000 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn is_empty_tracks_contents() {
+        let q = SegQueue::new();
+        assert!(q.is_empty());
+        q.enqueue(1);
+        assert!(!q.is_empty());
+        q.dequeue();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_enqueue_dequeue_crosses_boundaries() {
+        let q = SegQueue::with_config(SegConfig {
+            seg_size: 2,
+            ..SegConfig::DEFAULT
+        });
+        let mut expected = 0;
+        for i in 0..50 {
+            q.enqueue(2 * i);
+            q.enqueue(2 * i + 1);
+            assert_eq!(q.dequeue(), Some(expected));
+            expected += 1;
+        }
+        while let Some(v) = q.dequeue() {
+            assert_eq!(v, expected);
+            expected += 1;
+        }
+        assert_eq!(expected, 100);
+    }
+
+    #[test]
+    fn works_with_owned_types() {
+        let q = SegQueue::new();
+        q.enqueue(String::from("hello"));
+        q.enqueue(String::from("world"));
+        assert_eq!(q.dequeue().as_deref(), Some("hello"));
+        assert_eq!(q.dequeue().as_deref(), Some("world"));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let q: SegQueue<u32> = (0..10).collect();
+        for i in 0..10 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+    }
+
+    #[test]
+    fn drop_releases_remaining_values() {
+        struct Counted(Arc<StdAtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        {
+            let q = SegQueue::with_config(SegConfig {
+                seg_size: 3,
+                ..SegConfig::DEFAULT
+            });
+            for _ in 0..10 {
+                q.enqueue(Counted(Arc::clone(&drops)));
+            }
+            q.dequeue();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn drained_segments_are_pooled_then_reused() {
+        let q = SegQueue::with_config(SegConfig {
+            seg_size: 2,
+            pool_limit: 4,
+            backoff: BackoffConfig::DEFAULT,
+        });
+        for round in 0..20 {
+            for i in 0..6 {
+                q.enqueue(round * 10 + i);
+            }
+            for i in 0..6 {
+                assert_eq!(q.dequeue(), Some(round * 10 + i));
+            }
+        }
+        let stats = q.stats();
+        assert!(stats.segs_pooled > 0, "pool never used: {stats:?}");
+        assert!(
+            stats.segs_allocated < 20,
+            "pooling should curb allocation: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn pool_limit_zero_retires_everything() {
+        let q = SegQueue::with_config(SegConfig {
+            seg_size: 2,
+            pool_limit: 0,
+            backoff: BackoffConfig::DEFAULT,
+        });
+        for i in 0..20 {
+            q.enqueue(i);
+        }
+        for i in 0..20 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        let stats = q.stats();
+        assert_eq!(stats.segs_pooled, 0);
+        assert!(stats.segs_retired >= 9, "20 items / 2 slots: {stats:?}");
+    }
+
+    #[test]
+    fn mpmc_stress() {
+        let q = Arc::new(SegQueue::with_config(SegConfig {
+            seg_size: 8,
+            ..SegConfig::DEFAULT
+        }));
+        let producers = 4;
+        let per_producer = 2_000_u64;
+        let consumed = Arc::new(StdAtomicUsize::new(0));
+        let sum = Arc::new(StdAtomicUsize::new(0));
+
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    q.enqueue(p as u64 * per_producer + i);
+                }
+            }));
+        }
+        let total = producers as usize * per_producer as usize;
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            let consumed = Arc::clone(&consumed);
+            let sum = Arc::clone(&sum);
+            handles.push(std::thread::spawn(move || {
+                while consumed.load(Ordering::SeqCst) < total {
+                    match q.dequeue() {
+                        Some(v) => {
+                            sum.fetch_add(v as usize, Ordering::SeqCst);
+                            consumed.fetch_add(1, Ordering::SeqCst);
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = producers as usize * per_producer as usize;
+        assert_eq!(consumed.load(Ordering::SeqCst), n);
+        assert_eq!(sum.load(Ordering::SeqCst), n * (n - 1) / 2);
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn per_producer_order_is_preserved() {
+        let q = Arc::new(SegQueue::with_config(SegConfig {
+            seg_size: 4,
+            ..SegConfig::DEFAULT
+        }));
+        let mut handles = Vec::new();
+        for p in 0..3_u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1_000 {
+                    q.enqueue(p * 1_000_000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut last = [None::<u64>; 3];
+        while let Some(v) = q.dequeue() {
+            let p = (v / 1_000_000) as usize;
+            if let Some(prev) = last[p] {
+                assert!(v > prev, "producer {p} reordered: {prev} then {v}");
+            }
+            last[p] = Some(v);
+        }
+    }
+}

@@ -121,7 +121,9 @@ impl<T: Send> Producer<T> {
         // Safety: slot `tail` is outside [head, tail) — unoccupied, and
         // the consumer cannot read it until the tail store below.
         unsafe { (*self.inner.slot(tail)).write(value) };
-        self.inner.tail.store(tail.wrapping_add(1), Ordering::Release);
+        self.inner
+            .tail
+            .store(tail.wrapping_add(1), Ordering::Release);
         Ok(())
     }
 
@@ -170,7 +172,9 @@ impl<T: Send> Consumer<T> {
         // Safety: slot `head` is inside [head, tail) — initialized, and
         // the producer cannot overwrite it until the head store below.
         let value = unsafe { (*self.inner.slot(head)).assume_init_read() };
-        self.inner.head.store(head.wrapping_add(1), Ordering::Release);
+        self.inner
+            .head
+            .store(head.wrapping_add(1), Ordering::Release);
         Some(value)
     }
 

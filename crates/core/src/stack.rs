@@ -92,11 +92,7 @@ impl<T> LockFreeStack<T> {
                     // Safety (caller): p came from Box::into_raw of a
                     // Node<T> whose value was moved out; ManuallyDrop has
                     // the same layout and suppresses the field drop.
-                    unsafe {
-                        drop(Box::from_raw(
-                            p.cast::<std::mem::ManuallyDrop<Node<T>>>(),
-                        ))
-                    };
+                    unsafe { drop(Box::from_raw(p.cast::<std::mem::ManuallyDrop<Node<T>>>())) };
                 }
                 unsafe { GLOBAL_DOMAIN.retire_with(top.cast::<u8>(), free_allocation_only::<T>) };
                 return Some(value);
@@ -226,7 +222,11 @@ mod tests {
             h.join().unwrap();
         }
         assert!(s.is_empty());
-        assert_eq!(drops.load(Ordering::SeqCst), 4_000, "each value dropped once");
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            4_000,
+            "each value dropped once"
+        );
     }
 
     #[test]

@@ -54,12 +54,11 @@ impl<P: Platform> WordMsQueue<P> {
     /// # Panics
     ///
     /// Panics if `capacity + 1` does not fit a tagged index.
-    pub fn with_capacity_and_backoff(
-        platform: &P,
-        capacity: u32,
-        backoff: BackoffConfig,
-    ) -> Self {
-        let arena = NodeArena::new(platform, capacity.checked_add(1).expect("capacity overflow"));
+    pub fn with_capacity_and_backoff(platform: &P, capacity: u32, backoff: BackoffConfig) -> Self {
+        let arena = NodeArena::new(
+            platform,
+            capacity.checked_add(1).expect("capacity overflow"),
+        );
         // initialize(Q): allocate a dummy node, the only node in the list;
         // both Head and Tail point to it.
         let dummy = arena.alloc().expect("fresh arena");
@@ -112,7 +111,8 @@ impl<P: Platform> ConcurrentWordQueue for WordMsQueue<P> {
                 backoff.spin(&self.platform);
             } else {
                 // E12: Tail was lagging; try to swing it to the next node.
-                self.tail.cas(tail.raw(), tail.with_index(next.index()).raw());
+                self.tail
+                    .cas(tail.raw(), tail.with_index(next.index()).raw());
             }
         }
     }
@@ -137,7 +137,8 @@ impl<P: Platform> ConcurrentWordQueue for WordMsQueue<P> {
                     return None;
                 }
                 // D9: Tail is falling behind; try to advance it.
-                self.tail.cas(tail.raw(), tail.with_index(next.index()).raw());
+                self.tail
+                    .cas(tail.raw(), tail.with_index(next.index()).raw());
             } else {
                 // D11: read the value BEFORE the CAS — afterwards another
                 // dequeue may free the node and a new enqueue overwrite it.

@@ -1,0 +1,562 @@
+//! The segment-batched non-blocking queue over the `Platform` abstraction.
+//!
+//! This is the word-level twin of [`SegQueue`](crate::SegQueue): the
+//! Michael–Scott list where each node is an array segment from a
+//! [`SegArena`], so the paper's per-operation link/unlink CASes amortize
+//! over `seg_size` operations. Running over `Platform` means the same code
+//! executes on hardware atomics and inside the `msq-sim` coherence
+//! simulator, where its cache-miss advantage over the per-node queue can
+//! be measured directly.
+//!
+//! Where the heap variant leans on hazard pointers, this one leans on the
+//! paper's tagging discipline, extended from pointers to *every* mutable
+//! segment word: the arena stamps states, claim counters, and dequeue
+//! indices with the segment's generation (see [`SegArena`]), so any
+//! action by a process holding a recycled segment fails its CAS. The one
+//! asymmetry is the value word, which cannot carry a tag: an enqueuer
+//! therefore claims its slot with a generation-checked `EMPTY → WRITING`
+//! CAS *before* storing the value, and publishes with `WRITING → FULL`
+//! afterwards. Dequeuers never poison a `WRITING` slot, so the store is
+//! always generation-correct; the cost is a two-store publication window
+//! in which a preempted enqueuer delays dequeuers at that slot (every
+//! other path keeps the paper's lock-freedom).
+
+use msq_arena::SegArena;
+use msq_platform::{
+    AtomicWord, Backoff, BackoffConfig, ConcurrentWordQueue, Platform, QueueFull, Tagged,
+    NULL_INDEX,
+};
+
+/// Slot states (index half of a `{state, gen}` word). `EMPTY` must be 0:
+/// [`SegArena::free`] resets state words to `{0, gen}`.
+const EMPTY: u32 = 0;
+const WRITING: u32 = 1;
+const FULL: u32 = 2;
+const TAKEN: u32 = 3;
+
+/// How many times a dequeuer re-reads a claimed-but-unpublished slot
+/// before poisoning it. Generous, because a poisoned claim burns a slot
+/// of capacity until its segment is recycled.
+const POISON_PATIENCE: usize = 256;
+
+/// Extra segments beyond `ceil(capacity / seg_size)`: one for the
+/// partially drained head, one for the partially filled tail, plus margin
+/// for slots burnt by poisoning/stale claims. With this headroom,
+/// `enqueue` only reports [`QueueFull`] under genuine (or pathological
+/// stall-induced) exhaustion; callers that retry always recover once a
+/// drained segment is recycled.
+const SEG_HEADROOM: u32 = 4;
+
+/// The Michael–Scott non-blocking queue with array-segment nodes, over a
+/// segment arena.
+///
+/// # Example
+///
+/// ```
+/// use msq_core::WordSegQueue;
+/// use msq_platform::{ConcurrentWordQueue, NativePlatform};
+///
+/// let queue = WordSegQueue::with_capacity(&NativePlatform::new(), 128);
+/// queue.enqueue(7).unwrap();
+/// queue.enqueue(8).unwrap();
+/// assert_eq!(queue.dequeue(), Some(7));
+/// assert_eq!(queue.dequeue(), Some(8));
+/// assert_eq!(queue.dequeue(), None);
+/// ```
+pub struct WordSegQueue<P: Platform> {
+    /// `{segment index, modification counter}`.
+    head: P::Cell,
+    /// `{segment index, modification counter}`.
+    tail: P::Cell,
+    arena: SegArena<P>,
+    platform: P,
+    backoff: BackoffConfig,
+    capacity: u32,
+}
+
+impl<P: Platform> WordSegQueue<P> {
+    /// Default slots per segment.
+    pub const DEFAULT_SEG_SIZE: u32 = 32;
+
+    /// Creates a queue able to hold at least `capacity` values, with
+    /// 32-slot segments and default backoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the implied segment count does not fit a tagged index.
+    pub fn with_capacity(platform: &P, capacity: u32) -> Self {
+        Self::with_capacity_and_backoff(platform, capacity, BackoffConfig::DEFAULT)
+    }
+
+    /// As [`WordSegQueue::with_capacity`] with explicit backoff parameters
+    /// (the ablation benches pass [`BackoffConfig::DISABLED`]).
+    pub fn with_capacity_and_backoff(platform: &P, capacity: u32, backoff: BackoffConfig) -> Self {
+        Self::with_seg_size_and_backoff(platform, capacity, Self::DEFAULT_SEG_SIZE, backoff)
+    }
+
+    /// Full control over segment size, for the segment-size ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg_size` is 0 or the implied segment count does not fit
+    /// a tagged index.
+    pub fn with_seg_size_and_backoff(
+        platform: &P,
+        capacity: u32,
+        seg_size: u32,
+        backoff: BackoffConfig,
+    ) -> Self {
+        assert!(seg_size > 0, "segments need at least one slot");
+        let seg_count = capacity.div_ceil(seg_size).max(1) + SEG_HEADROOM;
+        let arena = SegArena::new(platform, seg_count, seg_size);
+        // initialize(Q): one segment plays the role of the dummy node;
+        // Head and Tail both point at it.
+        let first = arena.alloc().expect("fresh arena");
+        arena.set_next(first, NULL_INDEX);
+        let head = platform.alloc_cell(Tagged::new(first, 0).raw());
+        let tail = platform.alloc_cell(Tagged::new(first, 0).raw());
+        WordSegQueue {
+            head,
+            tail,
+            arena,
+            platform: platform.clone(),
+            backoff,
+            capacity,
+        }
+    }
+
+    /// The capacity the queue was sized for (a guaranteed lower bound on
+    /// what it can hold; the segment rounding adds slack).
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Slots per segment.
+    pub fn seg_size(&self) -> u32 {
+        self.arena.seg_size()
+    }
+}
+
+impl<P: Platform> ConcurrentWordQueue for WordSegQueue<P> {
+    fn enqueue(&self, value: u64) -> Result<(), QueueFull> {
+        let k = self.arena.seg_size();
+        let mut backoff = Backoff::new(self.backoff);
+        // A segment we prepared for an append that lost its race, kept
+        // (exclusively owned) for the next attempt.
+        let mut spare: Option<u32> = None;
+        loop {
+            // Read Tail, the segment's generation, and re-validate Tail —
+            // the word-level analogue of E5–E7: a consistent (tail, gen)
+            // snapshot means the segment was live *as the tail* when the
+            // generation was read.
+            let tail_raw = self.tail.load();
+            let tail = Tagged::from_raw(tail_raw);
+            let seg = tail.index();
+            let gtag = self.arena.gen(seg) as u32;
+            if self.tail.load() != tail_raw {
+                continue;
+            }
+
+            // Fast path: claim a slot with one fetch_add — the only
+            // access most enqueues make to the shared counter. The
+            // returned previous value carries the generation tag, so no
+            // pre-read of the hot word (and its extra coherence miss) is
+            // needed. On a full segment the increment is wasted but
+            // harmless: growth is one claim per contending process per
+            // retry, and overflow into the tag half would need 2^32
+            // claims within a single generation.
+            let prev = Tagged::from_raw(self.arena.enq_cell(seg).fetch_add(1));
+            if prev.tag() != gtag {
+                // The segment recycled under us: the increment burnt a
+                // claim index of the *new* generation, which its
+                // dequeuers will poison past. Harmless; retry.
+                continue;
+            }
+            let t = prev.index();
+            if t < k {
+                // Claim slot t: EMPTY -> WRITING, generation-checked.
+                // Only after this CAS is a value store safe — the slot
+                // provably belongs to generation `gtag` and cannot be
+                // poisoned or recycled until we publish.
+                let state = self.arena.state_cell(seg, t);
+                if state.cas(
+                    Tagged::new(EMPTY, gtag).raw(),
+                    Tagged::new(WRITING, gtag).raw(),
+                ) {
+                    self.arena.value_cell(seg, t).store(value);
+                    state.store(Tagged::new(FULL, gtag).raw());
+                    if let Some(s) = spare.take() {
+                        self.arena.free(s);
+                    }
+                    return Ok(());
+                }
+                // Poisoned by an impatient dequeuer (or the segment
+                // recycled): the claim is a non-event; re-claim.
+                backoff.spin(&self.platform);
+                continue;
+            }
+            // t >= k: segment full; fall through to append.
+
+            // Slow path: the tail segment is full — the paper's E8–E13,
+            // once per seg_size enqueues.
+            let next = self.arena.next(seg);
+            if !next.is_null() {
+                // E12: Tail is lagging; help swing it and retry.
+                self.tail.cas(tail_raw, tail.with_index(next.index()).raw());
+                continue;
+            }
+            // Prepare a fresh segment with our value pre-installed in slot
+            // 0, so the append CAS is also this enqueue's linearization
+            // point. We own `fresh` exclusively until that CAS.
+            let Some(fresh) = spare.take().or_else(|| self.arena.alloc()) else {
+                return Err(QueueFull(value));
+            };
+            let fgtag = self.arena.gen(fresh) as u32;
+            self.arena.set_next(fresh, NULL_INDEX);
+            self.arena.value_cell(fresh, 0).store(value);
+            self.arena
+                .state_cell(fresh, 0)
+                .store(Tagged::new(FULL, fgtag).raw());
+            self.arena
+                .enq_cell(fresh)
+                .store(Tagged::new(1, fgtag).raw());
+            // E9: link the segment at the end of the list.
+            if self.arena.cas_next(seg, next, fresh) {
+                // E13: enqueue done; try to swing Tail to the segment.
+                self.tail.cas(tail_raw, tail.with_index(fresh).raw());
+                return Ok(());
+            }
+            // E9 failed: another process appended first. Unwind our slot-0
+            // installation and keep the segment for the next attempt.
+            self.arena
+                .state_cell(fresh, 0)
+                .store(Tagged::new(EMPTY, fgtag).raw());
+            self.arena
+                .enq_cell(fresh)
+                .store(Tagged::new(0, fgtag).raw());
+            spare = Some(fresh);
+            backoff.spin(&self.platform);
+        }
+    }
+
+    fn dequeue(&self) -> Option<u64> {
+        let k = self.arena.seg_size();
+        let mut backoff = Backoff::new(self.backoff);
+        loop {
+            // D2–D5 analogue: consistent (head, gen) snapshot. Unlike the
+            // heap variant, `head`'s modification counter rules out ABA
+            // outright: an unchanged raw word means the head never moved.
+            let head_raw = self.head.load();
+            let head = Tagged::from_raw(head_raw);
+            let seg = head.index();
+            let gtag = self.arena.gen(seg) as u32;
+            if self.head.load() != head_raw {
+                continue;
+            }
+
+            let deq = Tagged::from_raw(self.arena.deq_cell(seg).load());
+            if deq.tag() != gtag {
+                continue;
+            }
+            let d = deq.index();
+
+            if d >= k {
+                // Segment fully consumed: unlink it (the paper's D10–D14,
+                // once per seg_size dequeues).
+                let next = self.arena.next(seg);
+                if next.is_null() {
+                    // Empty — provided the head has not moved, in which
+                    // case the null `next` was read while `seg` was the
+                    // (fully drained) head segment: the linearization
+                    // point of this empty dequeue.
+                    if self.head.load() == head_raw {
+                        return None;
+                    }
+                    continue;
+                }
+                // Head must never pass Tail: help Tail off this segment
+                // first (the D9 helping rule).
+                let tail_raw = self.tail.load();
+                let tail = Tagged::from_raw(tail_raw);
+                if tail.index() == seg {
+                    self.tail.cas(tail_raw, tail.with_index(next.index()).raw());
+                }
+                if self.head.cas(head_raw, head.with_index(next.index()).raw()) {
+                    // D14 analogue: safe to recycle — Tail was helped off,
+                    // and every stale process fails its generation check.
+                    self.arena.free(seg);
+                }
+                continue;
+            }
+
+            let state_cell = self.arena.state_cell(seg, d);
+            let state = Tagged::from_raw(state_cell.load());
+            if state.tag() != gtag {
+                continue;
+            }
+            match state.index() {
+                FULL => {
+                    // D11: read the value BEFORE the index CAS — after it,
+                    // the segment may drain, recycle, and be overwritten.
+                    // The generation tag on the CAS detects exactly that.
+                    let value = self.arena.value_cell(seg, d).load();
+                    if self
+                        .arena
+                        .deq_cell(seg)
+                        .cas(deq.raw(), Tagged::new(d + 1, gtag).raw())
+                    {
+                        return Some(value);
+                    }
+                    backoff.spin(&self.platform);
+                }
+                TAKEN => {
+                    // Poisoned slot; step over it.
+                    self.arena
+                        .deq_cell(seg)
+                        .cas(deq.raw(), Tagged::new(d + 1, gtag).raw());
+                }
+                WRITING => {
+                    // Publication in progress: a two-store window. Never
+                    // poison it — the value store may already have landed.
+                    backoff.spin(&self.platform);
+                }
+                _ => {
+                    // EMPTY.
+                    let enq = Tagged::from_raw(self.arena.enq_cell(seg).load());
+                    if enq.tag() != gtag {
+                        continue;
+                    }
+                    if enq.index() <= d {
+                        // No claim covers slot d, so no append ever
+                        // happened either (appending requires a full
+                        // counter): empty if the head is unmoved.
+                        if self.arena.next(seg).is_null() && self.head.load() == head_raw {
+                            return None;
+                        }
+                        continue;
+                    }
+                    // A claimant owns slot d but has not started writing.
+                    // Wait, then poison, so one stalled enqueuer cannot
+                    // block the queue (it re-claims when it resumes).
+                    let mut moved = false;
+                    for _ in 0..POISON_PATIENCE {
+                        if state_cell.load() != Tagged::new(EMPTY, gtag).raw() {
+                            moved = true;
+                            break;
+                        }
+                        self.platform.cpu_relax();
+                    }
+                    if !moved {
+                        state_cell.cas(
+                            Tagged::new(EMPTY, gtag).raw(),
+                            Tagged::new(TAKEN, gtag).raw(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "seg-batched"
+    }
+
+    fn is_nonblocking(&self) -> bool {
+        true
+    }
+}
+
+impl<P: Platform> std::fmt::Debug for WordSegQueue<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WordSegQueue(capacity={}, seg_size={})",
+            self.capacity,
+            self.arena.seg_size()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msq_platform::NativePlatform;
+    use std::sync::Arc;
+
+    fn queue(capacity: u32) -> WordSegQueue<NativePlatform> {
+        WordSegQueue::with_capacity(&NativePlatform::new(), capacity)
+    }
+
+    fn small_seg_queue(capacity: u32, seg_size: u32) -> WordSegQueue<NativePlatform> {
+        WordSegQueue::with_seg_size_and_backoff(
+            &NativePlatform::new(),
+            capacity,
+            seg_size,
+            BackoffConfig::DEFAULT,
+        )
+    }
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = queue(16);
+        for i in 0..10 {
+            q.enqueue(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn fifo_order_across_segment_boundaries() {
+        let q = small_seg_queue(64, 4);
+        for i in 0..60 {
+            q.enqueue(i).unwrap();
+        }
+        for i in 0..60 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn empty_queue_dequeues_none() {
+        let q = queue(4);
+        assert_eq!(q.dequeue(), None);
+        assert_eq!(q.dequeue(), None, "repeatable");
+    }
+
+    #[test]
+    fn segments_are_recycled_through_many_generations() {
+        // 10k ops through a tiny segment pool: the generation tags must
+        // keep reuse safe.
+        let q = small_seg_queue(4, 2);
+        for i in 0..10_000 {
+            q.enqueue(i).unwrap();
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn capacity_is_a_guaranteed_lower_bound() {
+        let q = small_seg_queue(10, 4);
+        for i in 0..10 {
+            q.enqueue(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+    }
+
+    #[test]
+    fn mpmc_stress_conserves_values() {
+        let q = Arc::new(queue(256));
+        let produced: u64 = 4 * 5_000;
+        let sum = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let taken = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..4_u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5_000_u64 {
+                    let v = t * 5_000 + i + 1;
+                    loop {
+                        if q.enqueue(v).is_ok() {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            let sum = Arc::clone(&sum);
+            let taken = Arc::clone(&taken);
+            handles.push(std::thread::spawn(move || {
+                while taken.load(std::sync::atomic::Ordering::SeqCst) < produced {
+                    if let Some(v) = q.dequeue() {
+                        sum.fetch_add(v, std::sync::atomic::Ordering::SeqCst);
+                        taken.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expected: u64 = (1..=produced).sum();
+        assert_eq!(sum.load(std::sync::atomic::Ordering::SeqCst), expected);
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn per_producer_order_is_preserved() {
+        let q = Arc::new(queue(6_000));
+        let mut handles = Vec::new();
+        for t in 0..3_u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000_u64 {
+                    loop {
+                        if q.enqueue((t << 32) | i).is_ok() {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut last = [None::<u64>; 3];
+        while let Some(v) = q.dequeue() {
+            let producer = (v >> 32) as usize;
+            let seq = v & 0xffff_ffff;
+            if let Some(prev) = last[producer] {
+                assert!(seq > prev, "producer {producer} out of order");
+            }
+            last[producer] = Some(seq);
+        }
+        assert_eq!(last, [Some(1999), Some(1999), Some(1999)]);
+    }
+
+    #[test]
+    fn works_under_simulation_with_preemption() {
+        use msq_sim::{SimConfig, Simulation};
+        let sim = Simulation::new(SimConfig {
+            processors: 3,
+            processes_per_processor: 2,
+            quantum_ns: 100_000,
+            ..SimConfig::default()
+        });
+        let q = Arc::new(WordSegQueue::with_capacity(&sim.platform(), 64));
+        let report = sim.run({
+            let q = Arc::clone(&q);
+            move |info| {
+                for i in 0..100 {
+                    let v = (info.pid as u64) << 32 | i;
+                    q.enqueue(v).unwrap();
+                    q.dequeue().expect("an item is always available");
+                }
+            }
+        });
+        assert_eq!(q.dequeue(), None);
+        assert!(report.total_ops > 0);
+    }
+
+    #[test]
+    fn reports_identity() {
+        let q = queue(1);
+        assert_eq!(q.name(), "seg-batched");
+        assert!(q.is_nonblocking());
+        assert_eq!(q.capacity(), 1);
+        assert_eq!(
+            q.seg_size(),
+            WordSegQueue::<NativePlatform>::DEFAULT_SEG_SIZE
+        );
+    }
+}

@@ -30,9 +30,7 @@ fn main() {
             }
         }
     }
-    println!(
-        "| algorithm | sim ns/pair (p=1) | sim miss rate | native ns/pair (1 thread) |"
-    );
+    println!("| algorithm | sim ns/pair (p=1) | sim miss rate | native ns/pair (1 thread) |");
     println!("|---|---|---|---|");
     for alg in Algorithm::ALL {
         let sim = run_simulated(alg, SimConfig::default(), &workload);

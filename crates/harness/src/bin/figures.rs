@@ -135,11 +135,7 @@ fn run_native_mode(args: &Args) {
         for &p in &args.processors {
             print!("| {} |", p * spec.processes_per_processor);
             for algorithm in Algorithm::ALL {
-                let point = run_native(
-                    algorithm,
-                    p * spec.processes_per_processor,
-                    &args.workload,
-                );
+                let point = run_native(algorithm, p * spec.processes_per_processor, &args.workload);
                 print!(" {:.3} |", point.net_secs_per_million_pairs());
                 let _ = std::io::stdout().flush();
             }

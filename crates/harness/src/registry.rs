@@ -1,12 +1,15 @@
-//! The algorithm registry: every queue in the paper's evaluation.
+//! The algorithm registry: every queue in the paper's evaluation, plus
+//! extra contenders that are *not* part of the reproduced figures.
 
 use std::sync::Arc;
 
 use msq_baselines::{McQueue, PljQueue, SingleLockQueue, ValoisQueue};
-use msq_core::{WordMsQueue, WordTwoLockQueue};
+use msq_core::{WordMsQueue, WordSegQueue, WordTwoLockQueue};
 use msq_platform::{ConcurrentWordQueue, Platform};
 
-/// The six algorithms of Figures 3–5, in the paper's legend order.
+/// The six algorithms of Figures 3–5, in the paper's legend order, plus
+/// extension contenders (kept out of [`Algorithm::ALL`] so the reproduced
+/// figures stay faithful to the paper's legend).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// "Single lock": one TTAS lock around both queue ends.
@@ -21,10 +24,15 @@ pub enum Algorithm {
     PljNonBlocking,
     /// "new non-blocking": the paper's Figure 1 algorithm.
     NewNonBlocking,
+    /// "seg-batched": extension — the MS list over array segments, with
+    /// `fetch_add` slot claims amortizing the CAS traffic. Not one of the
+    /// paper's six; excluded from the Figures 3–5 legends.
+    SegBatched,
 }
 
 impl Algorithm {
-    /// All algorithms in the paper's legend order.
+    /// The paper's six algorithms in the paper's legend order. Figure
+    /// sweeps iterate exactly this set.
     pub const ALL: [Algorithm; 6] = [
         Algorithm::SingleLock,
         Algorithm::MellorCrummey,
@@ -32,6 +40,18 @@ impl Algorithm {
         Algorithm::NewTwoLock,
         Algorithm::PljNonBlocking,
         Algorithm::NewNonBlocking,
+    ];
+
+    /// The paper's six plus the extension contenders, for benches and
+    /// ad-hoc comparisons.
+    pub const WITH_EXTENSIONS: [Algorithm; 7] = [
+        Algorithm::SingleLock,
+        Algorithm::MellorCrummey,
+        Algorithm::Valois,
+        Algorithm::NewTwoLock,
+        Algorithm::PljNonBlocking,
+        Algorithm::NewNonBlocking,
+        Algorithm::SegBatched,
     ];
 
     /// The label used in figures and CSV headers.
@@ -43,28 +63,30 @@ impl Algorithm {
             Algorithm::NewTwoLock => "new-two-lock",
             Algorithm::PljNonBlocking => "plj-nonblocking",
             Algorithm::NewNonBlocking => "new-nonblocking",
+            Algorithm::SegBatched => "seg-batched",
         }
     }
 
-    /// Parses a label back into an algorithm.
+    /// Parses a label back into an algorithm (extensions included).
     pub fn from_label(label: &str) -> Option<Algorithm> {
-        Algorithm::ALL.into_iter().find(|a| a.label() == label)
+        Algorithm::WITH_EXTENSIONS
+            .into_iter()
+            .find(|a| a.label() == label)
     }
 
     /// Whether the algorithm is non-blocking in the paper's sense.
     pub fn is_nonblocking(self) -> bool {
         matches!(
             self,
-            Algorithm::Valois | Algorithm::PljNonBlocking | Algorithm::NewNonBlocking
+            Algorithm::Valois
+                | Algorithm::PljNonBlocking
+                | Algorithm::NewNonBlocking
+                | Algorithm::SegBatched
         )
     }
 
     /// Constructs the queue over any platform with the given capacity.
-    pub fn build<P: Platform>(
-        self,
-        platform: &P,
-        capacity: u32,
-    ) -> Arc<dyn ConcurrentWordQueue> {
+    pub fn build<P: Platform>(self, platform: &P, capacity: u32) -> Arc<dyn ConcurrentWordQueue> {
         match self {
             Algorithm::SingleLock => Arc::new(SingleLockQueue::with_capacity(platform, capacity)),
             Algorithm::MellorCrummey => Arc::new(McQueue::with_capacity(platform, capacity)),
@@ -72,6 +94,7 @@ impl Algorithm {
             Algorithm::NewTwoLock => Arc::new(WordTwoLockQueue::with_capacity(platform, capacity)),
             Algorithm::PljNonBlocking => Arc::new(PljQueue::with_capacity(platform, capacity)),
             Algorithm::NewNonBlocking => Arc::new(WordMsQueue::with_capacity(platform, capacity)),
+            Algorithm::SegBatched => Arc::new(WordSegQueue::with_capacity(platform, capacity)),
         }
     }
 }
@@ -90,7 +113,7 @@ mod tests {
     #[test]
     fn all_algorithms_build_and_work() {
         let platform = NativePlatform::new();
-        for alg in Algorithm::ALL {
+        for alg in Algorithm::WITH_EXTENSIONS {
             let q = alg.build(&platform, 16);
             q.enqueue(42).unwrap();
             assert_eq!(q.dequeue(), Some(42), "{alg} round trip");
@@ -100,7 +123,7 @@ mod tests {
 
     #[test]
     fn labels_round_trip() {
-        for alg in Algorithm::ALL {
+        for alg in Algorithm::WITH_EXTENSIONS {
             assert_eq!(Algorithm::from_label(alg.label()), Some(alg));
         }
         assert_eq!(Algorithm::from_label("nope"), None);
@@ -109,7 +132,7 @@ mod tests {
     #[test]
     fn nonblocking_flags_match_implementations() {
         let platform = NativePlatform::new();
-        for alg in Algorithm::ALL {
+        for alg in Algorithm::WITH_EXTENSIONS {
             let q = alg.build(&platform, 4);
             assert_eq!(q.is_nonblocking(), alg.is_nonblocking(), "{alg}");
         }
@@ -119,5 +142,15 @@ mod tests {
     fn legend_order_matches_paper() {
         assert_eq!(Algorithm::ALL[0], Algorithm::SingleLock);
         assert_eq!(Algorithm::ALL[5], Algorithm::NewNonBlocking);
+    }
+
+    #[test]
+    fn extensions_stay_out_of_the_paper_legend() {
+        assert!(!Algorithm::ALL.contains(&Algorithm::SegBatched));
+        assert_eq!(
+            Algorithm::WITH_EXTENSIONS[..Algorithm::ALL.len()],
+            Algorithm::ALL
+        );
+        assert_eq!(Algorithm::SegBatched.label(), "seg-batched");
     }
 }

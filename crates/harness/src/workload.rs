@@ -129,8 +129,7 @@ pub fn run_simulated(
     // Net time: subtract the other work one processor performs. Each
     // processor's processes execute pairs_total / processors pairs in
     // aggregate, each pair spinning twice.
-    let per_processor_other_work =
-        (pairs_total / sim_config.processors as u64) * 2 * other_work_ns;
+    let per_processor_other_work = (pairs_total / sim_config.processors as u64) * 2 * other_work_ns;
     MeasuredPoint {
         algorithm,
         processors: sim_config.processors,

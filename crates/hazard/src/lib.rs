@@ -148,6 +148,25 @@ impl Domain {
         }
     }
 
+    /// Whether any hazard slot currently protects `ptr`.
+    ///
+    /// A `false` answer is advisory: a reader may publish `ptr` right
+    /// after the scan, so this alone never justifies freeing memory.
+    /// It is intended as a *reuse* gate — e.g. the segment pool in
+    /// `msq-core`'s `SegQueue` recycles an unlinked segment only when no
+    /// slot mentions it, falling back to `retire` otherwise. The race is
+    /// benign there because readers re-validate reachability after
+    /// publishing, and an unlinked segment fails that re-validation.
+    pub fn is_protected(&self, ptr: *mut u8) -> bool {
+        if ptr.is_null() {
+            return false;
+        }
+        let limit = self.high_water.load(Ordering::SeqCst);
+        self.slots[..limit]
+            .iter()
+            .any(|s| s.hazard.load(Ordering::SeqCst) == ptr)
+    }
+
     /// Number of currently protected (non-null) hazard slots; diagnostic.
     pub fn active_hazards(&self) -> usize {
         let limit = self.high_water.load(Ordering::Acquire);
@@ -197,7 +216,9 @@ impl Domain {
     }
 
     fn release_slot(&'static self, index: usize) {
-        self.slots[index].hazard.store(std::ptr::null_mut(), Ordering::Release);
+        self.slots[index]
+            .hazard
+            .store(std::ptr::null_mut(), Ordering::Release);
         self.slots[index].owner.store(0, Ordering::Release);
     }
 }
@@ -466,6 +487,24 @@ mod tests {
         );
         TEST_DOMAIN.eager_scan();
         assert_eq!(drops.load(Ordering::SeqCst), SCAN_THRESHOLD * 2);
+    }
+
+    #[test]
+    fn is_protected_tracks_hazard_publication() {
+        static IP_DOMAIN: Domain = Domain::new();
+        let value = Box::into_raw(Box::new(9_u64));
+        let shared = AtomicPtr::new(value);
+
+        assert!(!IP_DOMAIN.is_protected(value.cast()));
+        assert!(!IP_DOMAIN.is_protected(std::ptr::null_mut()));
+
+        let mut h = HazardPointer::new(&IP_DOMAIN);
+        let p = h.protect(&shared);
+        assert!(IP_DOMAIN.is_protected(p.cast()));
+
+        h.clear();
+        assert!(!IP_DOMAIN.is_protected(value.cast()));
+        unsafe { drop(Box::from_raw(value)) };
     }
 
     #[test]

@@ -217,9 +217,7 @@ mod tests {
         let h = History::from_events(vec![ev(0, Operation::Dequeue(Some(99)), 0, 1)]);
         let v = h.check_queue_safety();
         assert!(v.contains(&Violation::UnknownValue(99)));
-        assert!(v
-            .iter()
-            .any(|v| matches!(v, Violation::Imbalance { .. })));
+        assert!(v.iter().any(|v| matches!(v, Violation::Imbalance { .. })));
     }
 
     #[test]
@@ -275,7 +273,10 @@ mod tests {
                 enqueues: 1,
                 dequeues: 2,
             },
-            Violation::FifoReorder { first: 3, second: 4 },
+            Violation::FifoReorder {
+                first: 3,
+                second: 4,
+            },
         ] {
             assert!(!v.to_string().is_empty());
         }

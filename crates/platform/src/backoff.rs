@@ -35,7 +35,10 @@ impl BackoffConfig {
     };
 
     /// Backoff disabled: every [`Backoff::spin`] is a bare `cpu_relax`.
-    pub const DISABLED: BackoffConfig = BackoffConfig { min_ns: 0, max_ns: 0 };
+    pub const DISABLED: BackoffConfig = BackoffConfig {
+        min_ns: 0,
+        max_ns: 0,
+    };
 
     /// Whether this configuration performs any delaying at all.
     pub fn is_disabled(&self) -> bool {
@@ -128,7 +131,10 @@ mod tests {
     #[test]
     fn doubles_until_bound() {
         let p = NativePlatform::new();
-        let mut b = Backoff::new(BackoffConfig { min_ns: 100, max_ns: 400 });
+        let mut b = Backoff::new(BackoffConfig {
+            min_ns: 100,
+            max_ns: 400,
+        });
         assert_eq!(b.next_delay_ns(), 100);
         b.spin(&p);
         assert_eq!(b.next_delay_ns(), 200);
@@ -141,7 +147,10 @@ mod tests {
     #[test]
     fn reset_returns_to_min() {
         let p = NativePlatform::new();
-        let mut b = Backoff::new(BackoffConfig { min_ns: 100, max_ns: 800 });
+        let mut b = Backoff::new(BackoffConfig {
+            min_ns: 100,
+            max_ns: 800,
+        });
         b.spin(&p);
         b.spin(&p);
         b.reset();

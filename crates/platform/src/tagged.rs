@@ -114,7 +114,13 @@ mod tests {
 
     #[test]
     fn round_trips_index_and_tag() {
-        for &(i, t) in &[(0u32, 0u32), (1, 1), (42, 7), (u32::MAX - 1, u32::MAX), (NULL_INDEX, 3)] {
+        for &(i, t) in &[
+            (0u32, 0u32),
+            (1, 1),
+            (42, 7),
+            (u32::MAX - 1, u32::MAX),
+            (NULL_INDEX, 3),
+        ] {
             let w = Tagged::new(i, t);
             assert_eq!(w.index(), i);
             assert_eq!(w.tag(), t);

@@ -406,12 +406,7 @@ impl SimShared {
         core
     }
 
-    fn charge_and_pass(
-        &self,
-        mut core: std::sync::MutexGuard<'_, Core>,
-        pid: usize,
-        cost: u64,
-    ) {
+    fn charge_and_pass(&self, mut core: std::sync::MutexGuard<'_, Core>, pid: usize, cost: u64) {
         core.charge(pid, cost);
         let next = core.pick_next();
         core.running = next;

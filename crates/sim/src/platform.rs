@@ -53,7 +53,11 @@ impl SimPlatform {
 
 impl std::fmt::Debug for SimPlatform {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SimPlatform({} processors)", self.shared.config().processors)
+        write!(
+            f,
+            "SimPlatform({} processors)",
+            self.shared.config().processors
+        )
     }
 }
 

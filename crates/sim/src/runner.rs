@@ -104,9 +104,7 @@ impl Simulation {
                         // Catch panics so a failing body cannot strand the
                         // scheduler with a token holder that never yields.
                         let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                body(info)
-                            }));
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(info)));
                         shared.finish(pid);
                         unbind_current_process();
                         if let Err(panic) = outcome {
@@ -435,7 +433,11 @@ mod tests {
             report.total_ops
         );
         assert_eq!(
-            report.per_process.iter().map(|p| p.cache_misses).sum::<u64>(),
+            report
+                .per_process
+                .iter()
+                .map(|p| p.cache_misses)
+                .sum::<u64>(),
             report.cache_misses
         );
     }

@@ -219,8 +219,7 @@ impl<P: Platform> TokenLock<P> for ClhLock<P> {
             .alloc()
             .expect("CLH node pool exhausted: more concurrent lockers than max_waiters");
         self.nodes.set_value(me, 1); // pending
-        let predecessor = unpack(self.tail.swap(pack(me)))
-            .expect("CLH tail always holds a node");
+        let predecessor = unpack(self.tail.swap(pack(me))).expect("CLH tail always holds a node");
         let mut backoff = Backoff::new(self.backoff);
         while self.nodes.value(predecessor) != 0 {
             backoff.spin(platform);

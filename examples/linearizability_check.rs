@@ -11,11 +11,11 @@
 
 use std::sync::Arc;
 
+use ms_queues::platform::ConcurrentStack;
 use ms_queues::{
     is_linearizable_queue, Algorithm, ConcurrentWordQueue, NativePlatform, QueueFull, Recorder,
     TreiberStack,
 };
-use ms_queues::platform::ConcurrentStack;
 
 fn main() {
     // --- a real queue: every recorded window must linearize -----------
@@ -83,5 +83,8 @@ fn main() {
     for violation in &violations {
         println!("  - {violation}");
     }
-    assert!(!linearizable, "a LIFO history must not pass as a FIFO queue");
+    assert!(
+        !linearizable,
+        "a LIFO history must not pass as a FIFO queue"
+    );
 }

@@ -24,9 +24,7 @@ fn main() {
     // each process still experiences many preemptions over its lifetime.
     let quantum_ns = 10_000_000 * workload.pairs_total / 1_000_000;
     let processors = 4;
-    println!(
-        "net time (s per 10^6 pairs) on a simulated {processors}-processor machine\n"
-    );
+    println!("net time (s per 10^6 pairs) on a simulated {processors}-processor machine\n");
     println!(
         "{:<16} {:>10} {:>10} {:>10} {:>18}",
         "algorithm", "dedicated", "2x multi", "3x multi", "slowdown (3x/1x)"

@@ -66,8 +66,8 @@ fn main() {
     }
 
     let expected_jobs = PRODUCERS as u64 * JOBS_EACH;
-    let expected_checksum =
-        PRODUCERS as u64 * (0..JOBS_EACH).sum::<u64>() + (0..PRODUCERS as u64).sum::<u64>() * JOBS_EACH;
+    let expected_checksum = PRODUCERS as u64 * (0..JOBS_EACH).sum::<u64>()
+        + (0..PRODUCERS as u64).sum::<u64>() * JOBS_EACH;
     assert_eq!(processed.load(Ordering::Relaxed), expected_jobs);
     assert_eq!(checksum.load(Ordering::Relaxed), expected_checksum);
     println!(

@@ -17,7 +17,10 @@ fn main() {
         capacity: 1_024,
     };
     let processors = [1, 2, 4, 8];
-    println!("net time (s per 10^6 pairs), dedicated machine, {} pairs\n", workload.pairs_total);
+    println!(
+        "net time (s per 10^6 pairs), dedicated machine, {} pairs\n",
+        workload.pairs_total
+    );
     print!("{:<16}", "algorithm");
     for p in processors {
         print!(" p={p:<7}");

@@ -71,9 +71,9 @@ fn main() {
             "Valois queue: pool of {POOL} nodes EXHAUSTED after {done} operations\n\
              (queue never held more than {MAX_QUEUE_LEN} items — the paper's failure mode)"
         ),
-        Ok(done) => println!(
-            "Valois queue: survived {done} operations (increase OPS_BUDGET to reproduce)"
-        ),
+        Ok(done) => {
+            println!("Valois queue: survived {done} operations (increase OPS_BUDGET to reproduce)")
+        }
     }
     release.store(true, Ordering::Release);
     reader.join().expect("reader");

@@ -18,6 +18,9 @@
 //! * [`WordMsQueue`] / [`WordTwoLockQueue`] — the paper's Figure 1 and
 //!   Figure 2 pseudo-code, line for line, over the [`platform`]
 //!   abstraction and an arena free list, runnable natively or simulated.
+//! * [`SegQueue`] / [`WordSegQueue`] — beyond the paper: the same linked
+//!   structure with array *segments* for nodes, so most operations are a
+//!   single `fetch_add` instead of a CAS retry loop.
 //!
 //! ## The baselines ([`baselines`])
 //!
@@ -61,14 +64,14 @@ pub use msq_platform as platform;
 pub use msq_sim as sim;
 pub use msq_sync as sync;
 
+pub use msq_arena::SegArena;
 pub use msq_baselines::{
     HerlihyQueue, LamportQueue, McQueue, PljQueue, SingleLockQueue, TreiberStack, ValoisQueue,
 };
 pub use msq_core::{
-    spsc_channel, EpochMsQueue, LockFreeStack, MsQueue, TwoLockQueue, WordMsQueue,
-    WordTwoLockQueue,
+    spsc_channel, EpochMsQueue, LockFreeStack, MsQueue, SegConfig, SegQueue, SegStats,
+    TwoLockQueue, WordMsQueue, WordSegQueue, WordTwoLockQueue,
 };
-pub use msq_sync::{ClhLock, McsLock, RawLock, TasLock, TicketLock, TokenLock, TtasLock};
 pub use msq_harness::{run_figure, run_native, run_simulated, Algorithm, WorkloadConfig};
 pub use msq_linearize::{is_linearizable_queue, History, Recorder};
 pub use msq_platform::{
@@ -76,3 +79,4 @@ pub use msq_platform::{
     Platform, QueueFull, Tagged,
 };
 pub use msq_sim::{SimConfig, SimPlatform, SimReport, Simulation};
+pub use msq_sync::{ClhLock, McsLock, RawLock, TasLock, TicketLock, TokenLock, TtasLock};

@@ -129,4 +129,5 @@ native_tests! {
     new_two_lock => Algorithm::NewTwoLock,
     plj => Algorithm::PljNonBlocking,
     new_nonblocking => Algorithm::NewNonBlocking,
+    seg_batched => Algorithm::SegBatched,
 }

@@ -91,4 +91,5 @@ sim_tests! {
     new_two_lock => Algorithm::NewTwoLock,
     plj => Algorithm::PljNonBlocking,
     new_nonblocking => Algorithm::NewNonBlocking,
+    seg_batched => Algorithm::SegBatched,
 }

@@ -155,8 +155,8 @@ fn shape_is_stable_under_cost_model_perturbation() {
         };
         let ms = run_simulated(Algorithm::NewNonBlocking, config, &workload())
             .net_secs_per_million_pairs();
-        let single = run_simulated(Algorithm::SingleLock, config, &workload())
-            .net_secs_per_million_pairs();
+        let single =
+            run_simulated(Algorithm::SingleLock, config, &workload()).net_secs_per_million_pairs();
         assert!(
             ms < single,
             "t_miss={t_miss_ns}: MS ({ms:.3}s) must still beat single lock ({single:.3}s)"

@@ -3,9 +3,11 @@
 //! specification with the exhaustive Wing–Gong search; large histories get
 //! the fast whole-history checks.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use ms_queues::{is_linearizable_queue, Algorithm, NativePlatform, Recorder};
+use ms_queues::{
+    is_linearizable_queue, Algorithm, NativePlatform, Recorder, SimConfig, Simulation,
+};
 
 /// Records a small burst of genuinely concurrent operations and checks
 /// the exact history is linearizable. Repeated to sample many real
@@ -76,6 +78,47 @@ fn safe_large_history(algorithm: Algorithm) {
     );
 }
 
+/// The same small-window check on the deterministic simulator, sampling
+/// preemption-driven interleavings a host scheduler rarely produces. The
+/// recorder's logical clock is host-level, so the recorded intervals are
+/// the real-time order of the simulated execution.
+fn linearizable_small_windows_simulated(algorithm: Algorithm) {
+    for quantum_ns in [30_000_u64, 60_000, 100_000] {
+        let sim = Simulation::new(SimConfig {
+            processors: 3,
+            quantum_ns,
+            ..SimConfig::default()
+        });
+        let queue = algorithm.build(&sim.platform(), 64);
+        let recorder = Recorder::new();
+        let handles: Vec<_> = (0..3).map(|p| Some(recorder.handle(p))).collect();
+        let handles = Arc::new(Mutex::new(handles));
+        sim.run({
+            let queue = Arc::clone(&queue);
+            let handles = Arc::clone(&handles);
+            move |info| {
+                let mut handle = handles.lock().unwrap()[info.pid].take().unwrap();
+                for i in 0..2_u64 {
+                    let value = (info.pid as u64) << 8 | i;
+                    handle.enqueue(&*queue, value).unwrap();
+                    handle.dequeue(&*queue);
+                }
+            }
+        });
+        let history = recorder.finish();
+        assert!(
+            history.check_queue_safety().is_empty(),
+            "{algorithm}: fast checks failed at quantum {quantum_ns}"
+        );
+        assert!(
+            is_linearizable_queue(history.events()),
+            "{algorithm}: simulated history not linearizable at quantum \
+             {quantum_ns}: {:?}",
+            history.events()
+        );
+    }
+}
+
 macro_rules! linearizability_tests {
     ($($name:ident => $alg:expr),+ $(,)?) => {
         $(
@@ -85,6 +128,11 @@ macro_rules! linearizability_tests {
                 #[test]
                 fn small_windows_are_linearizable() {
                     linearizable_small_windows($alg);
+                }
+
+                #[test]
+                fn simulated_windows_are_linearizable() {
+                    linearizable_small_windows_simulated($alg);
                 }
 
                 #[test]
@@ -103,4 +151,5 @@ linearizability_tests! {
     new_two_lock => Algorithm::NewTwoLock,
     plj => Algorithm::PljNonBlocking,
     new_nonblocking => Algorithm::NewNonBlocking,
+    seg_batched => Algorithm::SegBatched,
 }

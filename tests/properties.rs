@@ -3,10 +3,10 @@
 //! sequences, and the core data words (tagged pointers, arena, rings)
 //! uphold their invariants.
 
-use ms_queues::{Algorithm, ConcurrentWordQueue, NativePlatform, Tagged};
-use ms_queues::{LamportQueue, TreiberStack};
 use ms_queues::linearize::SequentialQueue;
 use ms_queues::platform::ConcurrentStack;
+use ms_queues::{Algorithm, ConcurrentWordQueue, NativePlatform, Tagged};
+use ms_queues::{LamportQueue, TreiberStack};
 use proptest::prelude::*;
 
 #[derive(Clone, Copy, Debug)]
@@ -16,10 +16,7 @@ enum Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..1_000_000).prop_map(Op::Enqueue),
-        Just(Op::Dequeue),
-    ]
+    prop_oneof![(0u64..1_000_000).prop_map(Op::Enqueue), Just(Op::Dequeue),]
 }
 
 /// Single-threaded model equivalence: the implementation must agree with
@@ -91,6 +88,41 @@ proptest! {
     }
 
     #[test]
+    fn seg_batched_matches_model(ops in prop::collection::vec(op_strategy(), 0..400)) {
+        check_model_equivalence(Algorithm::SegBatched, &ops);
+    }
+
+    /// The heap SegQueue against the same model, with a segment size small
+    /// enough that the op sequences constantly cross segment boundaries.
+    #[test]
+    fn heap_seg_queue_matches_model(ops in prop::collection::vec(op_strategy(), 0..400)) {
+        use ms_queues::{SegConfig, SegQueue};
+        let queue: SegQueue<u64> = SegQueue::with_config(SegConfig {
+            seg_size: 4,
+            ..SegConfig::DEFAULT
+        });
+        let mut spec = SequentialQueue::new();
+        for &op in &ops {
+            match op {
+                Op::Enqueue(value) => {
+                    queue.enqueue(value);
+                    spec.enqueue(value);
+                }
+                Op::Dequeue => {
+                    prop_assert_eq!(queue.dequeue(), spec.dequeue());
+                }
+            }
+        }
+        loop {
+            let (got, want) = (queue.dequeue(), spec.dequeue());
+            prop_assert_eq!(got, want);
+            if want.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
     fn lamport_ring_matches_model_with_bound(ops in prop::collection::vec(op_strategy(), 0..400)) {
         let platform = NativePlatform::new();
         let ring = LamportQueue::with_capacity(&platform, 16);
@@ -152,6 +184,59 @@ proptest! {
     ) {
         prop_assume!(tag_a != tag_b);
         prop_assert_ne!(Tagged::new(index, tag_a), Tagged::new(index, tag_b));
+    }
+}
+
+/// The segment-boundary race: with 2-slot segments, every other operation
+/// crosses a boundary, so enqueuers racing the append CAS and dequeuers
+/// racing the unlink CAS constantly interleave with slot claims. FIFO per
+/// producer and exactly-once delivery must survive it.
+#[test]
+fn seg_queue_boundary_race_preserves_fifo() {
+    use ms_queues::{SegConfig, SegQueue};
+    use std::sync::Arc;
+
+    for _ in 0..10 {
+        let queue: Arc<SegQueue<u64>> = Arc::new(SegQueue::with_config(SegConfig {
+            seg_size: 2,
+            ..SegConfig::DEFAULT
+        }));
+        let producers = 3_u64;
+        let per_producer = 500_u64;
+        let mut handles = Vec::new();
+        for t in 0..producers {
+            let queue = Arc::clone(&queue);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    queue.enqueue((t << 32) | i);
+                }
+            }));
+        }
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                let mut last = vec![None::<u64>; producers as usize];
+                let mut seen = 0;
+                while seen < producers * per_producer {
+                    if let Some(v) = queue.dequeue() {
+                        let producer = (v >> 32) as usize;
+                        let seq = v & 0xffff_ffff;
+                        if let Some(prev) = last[producer] {
+                            assert!(seq > prev, "producer {producer} reordered");
+                        }
+                        last[producer] = Some(seq);
+                        seen += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        consumer.join().unwrap();
+        assert!(queue.is_empty());
     }
 }
 

@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use ms_queues::{EpochMsQueue, LockFreeStack, MsQueue, TwoLockQueue};
+use ms_queues::{EpochMsQueue, LockFreeStack, MsQueue, SegConfig, SegQueue, TwoLockQueue};
 
 struct Tracked {
     drops: Arc<AtomicU64>,
@@ -47,7 +47,10 @@ where
         let drops = Arc::clone(&drops);
         handles.push(std::thread::spawn(move || {
             for i in 0..PER_PRODUCER {
-                enqueue(&queue, Tracked::new(&drops, producer * PER_PRODUCER + i + 1));
+                enqueue(
+                    &queue,
+                    Tracked::new(&drops, producer * PER_PRODUCER + i + 1),
+                );
             }
         }));
     }
@@ -104,6 +107,47 @@ fn two_lock_queue_drops_every_value_exactly_once() {
         Arc::new(TwoLockQueue::new()),
         |q: &TwoLockQueue<Tracked>, v| q.enqueue(v),
         |q| q.dequeue(),
+    );
+}
+
+#[test]
+fn seg_queue_drops_every_value_exactly_once() {
+    // Small segments so reclamation runs thousands of times, not dozens.
+    run_queue_reclamation(
+        Arc::new(SegQueue::with_config(SegConfig {
+            seg_size: 4,
+            ..SegConfig::DEFAULT
+        })),
+        |q: &SegQueue<Tracked>, v| q.enqueue(v),
+        |q| q.dequeue(),
+    );
+}
+
+/// Drained segments must actually reach the hazard domain: with the reuse
+/// pool disabled, every unlinked segment is retired (not leaked, not
+/// pooled), and the domain eventually frees it.
+#[test]
+fn seg_queue_retires_drained_segments_through_hazard_domain() {
+    let queue: SegQueue<u64> = SegQueue::with_config(SegConfig {
+        seg_size: 4,
+        pool_limit: 0,
+        ..SegConfig::DEFAULT
+    });
+    for round in 0..50_u64 {
+        for i in 0..16 {
+            queue.enqueue(round * 16 + i);
+        }
+        for _ in 0..16 {
+            assert!(queue.dequeue().is_some());
+        }
+    }
+    let stats = queue.stats();
+    assert_eq!(stats.segs_pooled, 0, "pool disabled, nothing may be pooled");
+    assert!(
+        stats.segs_retired >= 50,
+        "50 rounds × 4 drained segments each must retire through the \
+         hazard domain, got {}",
+        stats.segs_retired
     );
 }
 

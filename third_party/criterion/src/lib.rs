@@ -1,0 +1,219 @@
+//! Vendored minimal stand-in for the parts of `criterion` this workspace
+//! uses, so `cargo bench` works without network access to a registry.
+//!
+//! Each benchmark calibrates an iteration count targeting ~20ms per
+//! sample, records `sample_size` samples, and prints the median ns/iter.
+//! When the `BENCH_JSON` environment variable names a file, every result
+//! is appended there as one JSON object per line
+//! (`{"group":..,"bench":..,"median_ns":..,"samples":..}`), which the
+//! repo's committed benchmark artifacts are generated from. Statistical
+//! analysis, plots, and CLI filtering are intentionally not implemented;
+//! command-line arguments (e.g. `--bench` from cargo) are ignored.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, passed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Runs one benchmark; `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        self.run(&id.to_string(), &mut f);
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(&id.0, &mut |b| f(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            median_ns: 0.0,
+        };
+        f(&mut bencher);
+        eprintln!("  {id}: {:.1} ns/iter", bencher.median_ns);
+        write_json_line(&self.name, id, bencher.median_ns, self.sample_size);
+    }
+}
+
+/// Identifier combining a function name and a parameter, rendered as
+/// `function/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Timing loop handle handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median ns per iteration across samples.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes ~20ms (capped so pathologically slow bodies still finish).
+        let target = Duration::from_millis(20);
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || iters >= 1 << 20 {
+                break;
+            }
+            if elapsed < target / 4 {
+                iters = iters.saturating_mul(4);
+            } else {
+                iters = iters.saturating_mul(2);
+            }
+        }
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+fn write_json_line(group: &str, bench: &str, median_ns: f64, samples: usize) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"samples\":{}}}\n",
+        escape(group),
+        escape(bench),
+        median_ns,
+        samples
+    );
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = file.write_all(line.as_bytes());
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Declares a benchmark group: a function invoking each listed target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `fn main()` running the listed groups. Cargo's extra CLI
+/// arguments (e.g. `--bench`) are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_positive_median() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut captured = 0.0;
+        group.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            captured = b.median_ns;
+        });
+        group.finish();
+        assert!(captured > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_slash_pair() {
+        assert_eq!(BenchmarkId::new("alg", 4).0, "alg/4");
+    }
+
+    #[test]
+    fn macros_expand_and_run() {
+        fn target(c: &mut Criterion) {
+            let mut g = c.benchmark_group("macro");
+            g.sample_size(2);
+            g.bench_with_input(BenchmarkId::new("cell", 1), &1u64, |b, &x| {
+                b.iter(|| x + 1);
+            });
+            g.finish();
+        }
+        criterion_group!(smoke_group, target);
+        let mut c = Criterion::default();
+        smoke_group(&mut c);
+    }
+}

@@ -1,0 +1,641 @@
+//! Vendored minimal stand-in for the parts of `crossbeam-epoch` this
+//! workspace uses, so the build works without network access to a registry.
+//!
+//! This is a *working* epoch-based reclamation scheme, not a leaky mock:
+//! the classic three-epoch design. Threads pin the global epoch while they
+//! hold [`Shared`] references; destruction of an unlinked node is deferred
+//! until the global epoch has advanced twice past the epoch in which it was
+//! retired, which can only happen after every thread that might still hold
+//! a reference has unpinned. The API subset matches the real crate for the
+//! call sites in this repository (`EpochMsQueue`, `HerlihyQueue`):
+//! [`Atomic`], [`Owned`], [`Shared`], [`Guard`], [`pin`], [`unprotected`],
+//! `compare_exchange` with an error carrying back `new`, and
+//! [`Guard::defer_destroy`].
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Memory orderings are re-exported so call sites can keep using
+/// `std::sync::atomic::Ordering` values unchanged.
+pub use std::sync::atomic::Ordering as MemOrdering;
+
+// --- global epoch state -----------------------------------------------------
+
+/// Maximum threads that may simultaneously participate in the epoch scheme.
+const MAX_PARTICIPANTS: usize = 512;
+
+/// Deferred destructions accumulated locally before attempting a collect.
+const COLLECT_THRESHOLD: usize = 64;
+
+static GLOBAL_EPOCH: AtomicUsize = AtomicUsize::new(2);
+
+struct ParticipantSlot {
+    /// 0 = slot free, 1 = owned by a live thread.
+    owner: AtomicUsize,
+    /// 0 = not pinned; otherwise `(epoch << 1) | 1`.
+    state: AtomicUsize,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const EMPTY_PARTICIPANT: ParticipantSlot = ParticipantSlot {
+    owner: AtomicUsize::new(0),
+    state: AtomicUsize::new(0),
+};
+
+static PARTICIPANTS: [ParticipantSlot; MAX_PARTICIPANTS] = [EMPTY_PARTICIPANT; MAX_PARTICIPANTS];
+static PARTICIPANT_HIGH_WATER: AtomicUsize = AtomicUsize::new(0);
+
+struct Deferred {
+    ptr: *mut u8,
+    drop_fn: unsafe fn(*mut u8),
+    /// Global epoch observed at retirement; safe to destroy once the
+    /// global epoch is at least `epoch + 2`.
+    epoch: usize,
+}
+
+// Deferred items are unlinked and owned by the collector until dropped.
+unsafe impl Send for Deferred {}
+
+/// Garbage from exited threads, adopted by later collections.
+static ORPHANS: Mutex<Vec<Deferred>> = Mutex::new(Vec::new());
+
+struct LocalEpoch {
+    slot: usize,
+    pin_count: usize,
+    garbage: Vec<Deferred>,
+    defers_since_collect: usize,
+}
+
+impl LocalEpoch {
+    fn register() -> LocalEpoch {
+        for (i, slot) in PARTICIPANTS.iter().enumerate() {
+            if slot.owner.load(Ordering::Relaxed) == 0
+                && slot
+                    .owner
+                    .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                PARTICIPANT_HIGH_WATER.fetch_max(i + 1, Ordering::AcqRel);
+                return LocalEpoch {
+                    slot: i,
+                    pin_count: 0,
+                    garbage: Vec::new(),
+                    defers_since_collect: 0,
+                };
+            }
+        }
+        panic!("epoch participant capacity ({MAX_PARTICIPANTS}) exhausted");
+    }
+}
+
+impl Drop for LocalEpoch {
+    fn drop(&mut self) {
+        // Thread exit: orphan any garbage (adopted by later collections)
+        // and release the participant slot.
+        if !self.garbage.is_empty() {
+            let mut orphans = ORPHANS.lock().expect("orphan list");
+            orphans.append(&mut self.garbage);
+        }
+        PARTICIPANTS[self.slot].state.store(0, Ordering::SeqCst);
+        PARTICIPANTS[self.slot].owner.store(0, Ordering::Release);
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<LocalEpoch>> = const { RefCell::new(None) };
+}
+
+fn with_local<R>(f: impl FnOnce(&mut LocalEpoch) -> R) -> R {
+    LOCAL.with(|local| {
+        let mut local = local.borrow_mut();
+        f(local.get_or_insert_with(LocalEpoch::register))
+    })
+}
+
+/// Advances the global epoch if every pinned participant has caught up with
+/// it, then destroys any garbage two epochs stale.
+fn try_collect(garbage: &mut Vec<Deferred>) {
+    let epoch = GLOBAL_EPOCH.load(Ordering::SeqCst);
+    let limit = PARTICIPANT_HIGH_WATER.load(Ordering::Acquire);
+    let all_current = PARTICIPANTS[..limit].iter().all(|slot| {
+        let state = slot.state.load(Ordering::SeqCst);
+        state == 0 || (state >> 1) == epoch
+    });
+    if all_current {
+        let _ = GLOBAL_EPOCH.compare_exchange(
+            epoch,
+            epoch.wrapping_add(1),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+    {
+        let mut orphans = ORPHANS.lock().expect("orphan list");
+        garbage.append(&mut orphans);
+    }
+    let now = GLOBAL_EPOCH.load(Ordering::SeqCst);
+    garbage.retain(|item| {
+        if now.wrapping_sub(item.epoch) >= 2 {
+            // Safety: unlinked at retirement and every thread pinned at
+            // `item.epoch` (or earlier) has since unpinned — the epoch
+            // cannot have advanced twice otherwise.
+            unsafe { (item.drop_fn)(item.ptr) };
+            false
+        } else {
+            true
+        }
+    });
+}
+
+// --- pointer types ----------------------------------------------------------
+
+/// An owned, heap-allocated value not yet (or no longer) shared.
+pub struct Owned<T> {
+    ptr: *mut T,
+}
+
+impl<T> Owned<T> {
+    /// Heap-allocates `value`.
+    pub fn new(value: T) -> Owned<T> {
+        Owned {
+            ptr: Box::into_raw(Box::new(value)),
+        }
+    }
+
+    /// Converts into a [`Shared`] tied to `guard`'s lifetime, transferring
+    /// ownership to the shared structure.
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        let ptr = self.ptr;
+        std::mem::forget(self);
+        Shared {
+            ptr,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> std::ops::Deref for Owned<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // Safety: `ptr` is a live Box allocation owned by self.
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T> std::ops::DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: `ptr` is a live Box allocation owned exclusively by self.
+        unsafe { &mut *self.ptr }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        // Safety: ownership was never transferred (those paths `forget`).
+        drop(unsafe { Box::from_raw(self.ptr) });
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Owned<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Owned({:?})", &**self)
+    }
+}
+
+/// A pointer to shared memory, valid while its [`Guard`] lives.
+pub struct Shared<'g, T> {
+    ptr: *mut T,
+    _marker: PhantomData<&'g T>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Shared<'_, T> {}
+
+impl<T> PartialEq for Shared<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.ptr == other.ptr
+    }
+}
+
+impl<T> Eq for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer.
+    pub fn null() -> Shared<'g, T> {
+        Shared {
+            ptr: std::ptr::null_mut(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Whether this pointer is null.
+    pub fn is_null(&self) -> bool {
+        self.ptr.is_null()
+    }
+
+    /// Dereferences the pointer.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be non-null and point to a live value reachable
+    /// under the pin that produced it.
+    pub unsafe fn deref(&self) -> &'g T {
+        unsafe { &*self.ptr }
+    }
+
+    /// Takes back ownership of the allocation.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive access (e.g. inside `Drop`) and the
+    /// pointer must be non-null and never again dereferenced elsewhere.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        Owned { ptr: self.ptr }
+    }
+
+    /// The raw pointer value.
+    pub fn as_raw(&self) -> *const T {
+        self.ptr
+    }
+}
+
+impl<T> std::fmt::Debug for Shared<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Shared({:p})", self.ptr)
+    }
+}
+
+/// Types that can be installed into an [`Atomic`]: [`Owned`] or [`Shared`].
+pub trait Pointer<T> {
+    /// Consumes self, yielding the raw pointer (ownership moves with it).
+    fn into_ptr(self) -> *mut T;
+
+    /// Reconstitutes the pointer type after a failed installation.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be the value a prior `into_ptr` of the same logical
+    /// pointer returned, with ownership unconsumed.
+    unsafe fn from_ptr(ptr: *mut T) -> Self;
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_ptr(self) -> *mut T {
+        let ptr = self.ptr;
+        std::mem::forget(self);
+        ptr
+    }
+
+    unsafe fn from_ptr(ptr: *mut T) -> Self {
+        Owned { ptr }
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_ptr(self) -> *mut T {
+        self.ptr
+    }
+
+    unsafe fn from_ptr(ptr: *mut T) -> Self {
+        Shared {
+            ptr,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// The error type of [`Atomic::compare_exchange`], handing `new` back to
+/// the caller for the retry (matching the real crate's shape).
+pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+    /// The value actually observed in the atomic.
+    pub current: Shared<'g, T>,
+    /// The pointer that failed to install, returned to the caller.
+    pub new: P,
+}
+
+/// An atomic pointer into epoch-managed shared memory.
+pub struct Atomic<T> {
+    ptr: AtomicPtr<T>,
+}
+
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// A null atomic pointer.
+    pub fn null() -> Atomic<T> {
+        Atomic {
+            ptr: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Heap-allocates `value` and points at it.
+    pub fn new(value: T) -> Atomic<T> {
+        Atomic {
+            ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+        }
+    }
+
+    /// Loads the pointer under `guard`'s protection.
+    pub fn load<'g>(&self, ordering: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            ptr: self.ptr.load(ordering),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Stores `new`, transferring its ownership into the structure.
+    pub fn store<P: Pointer<T>>(&self, new: P, ordering: Ordering) {
+        self.ptr.store(new.into_ptr(), ordering);
+    }
+
+    /// Compare-and-swap: installs `new` if the current value is `current`.
+    ///
+    /// # Errors
+    ///
+    /// On failure, returns the observed value and hands `new` back.
+    pub fn compare_exchange<'g, P: Pointer<T>>(
+        &self,
+        current: Shared<'_, T>,
+        new: P,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+        let new_ptr = new.into_ptr();
+        match self
+            .ptr
+            .compare_exchange(current.ptr, new_ptr, success, failure)
+        {
+            Ok(_) => Ok(Shared {
+                ptr: new_ptr,
+                _marker: PhantomData,
+            }),
+            Err(actual) => Err(CompareExchangeError {
+                current: Shared {
+                    ptr: actual,
+                    _marker: PhantomData,
+                },
+                // Safety: installation failed, so ownership of `new_ptr`
+                // never transferred; reconstituting it is sound.
+                new: unsafe { P::from_ptr(new_ptr) },
+            }),
+        }
+    }
+}
+
+impl<T> Default for Atomic<T> {
+    fn default() -> Self {
+        Atomic::null()
+    }
+}
+
+impl<T> std::fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Atomic({:p})", self.ptr.load(Ordering::Relaxed))
+    }
+}
+
+// --- guards -----------------------------------------------------------------
+
+/// Keeps the current thread's epoch pin alive; dropping unpins.
+pub struct Guard {
+    /// False for the [`unprotected`] guard, which never pins or unpins.
+    pinned: bool,
+}
+
+impl Guard {
+    /// Defers destruction of the value behind `shared` until no pinned
+    /// thread can still hold a reference to it.
+    ///
+    /// # Safety
+    ///
+    /// `shared` must be non-null, unlinked from every shared location (no
+    /// new readers can reach it), and deferred exactly once.
+    pub unsafe fn defer_destroy<T>(&self, shared: Shared<'_, T>) {
+        unsafe fn drop_box<T>(ptr: *mut u8) {
+            drop(unsafe { Box::from_raw(ptr.cast::<T>()) });
+        }
+        let item = Deferred {
+            ptr: shared.ptr.cast::<u8>(),
+            drop_fn: drop_box::<T>,
+            epoch: GLOBAL_EPOCH.load(Ordering::SeqCst),
+        };
+        if self.pinned {
+            with_local(|local| {
+                local.garbage.push(item);
+                local.defers_since_collect += 1;
+                if local.defers_since_collect >= COLLECT_THRESHOLD {
+                    local.defers_since_collect = 0;
+                    try_collect(&mut local.garbage);
+                }
+            });
+        } else {
+            // Unprotected guard (teardown paths): destroy immediately —
+            // the caller asserts exclusive access.
+            unsafe { (item.drop_fn)(item.ptr) };
+        }
+    }
+
+    /// Collects deferred garbage opportunistically; exposed for tests.
+    pub fn flush(&self) {
+        if self.pinned {
+            with_local(|local| try_collect(&mut local.garbage));
+        }
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if self.pinned {
+            let _ = LOCAL.try_with(|local| {
+                if let Some(local) = local.borrow_mut().as_mut() {
+                    local.pin_count -= 1;
+                    if local.pin_count == 0 {
+                        PARTICIPANTS[local.slot].state.store(0, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for Guard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Guard(pinned={})", self.pinned)
+    }
+}
+
+/// Pins the current thread: until the returned [`Guard`] drops, no value
+/// unlinked from now on will be destroyed out from under it.
+pub fn pin() -> Guard {
+    with_local(|local| {
+        if local.pin_count == 0 {
+            let slot = &PARTICIPANTS[local.slot];
+            loop {
+                let epoch = GLOBAL_EPOCH.load(Ordering::SeqCst);
+                slot.state.store((epoch << 1) | 1, Ordering::SeqCst);
+                // Re-validate: if the global epoch moved between the load
+                // and the publication, re-pin at the new epoch so the
+                // recorded epoch is never stale at birth.
+                if GLOBAL_EPOCH.load(Ordering::SeqCst) == epoch {
+                    break;
+                }
+            }
+        }
+        local.pin_count += 1;
+    });
+    Guard { pinned: true }
+}
+
+/// Returns a guard that does not pin, for use with exclusive access.
+///
+/// # Safety
+///
+/// Callers must guarantee no other thread can concurrently access the data
+/// structure (e.g. inside `Drop` with `&mut self`). Deferred destructions
+/// through this guard happen immediately.
+pub unsafe fn unprotected() -> &'static Guard {
+    static UNPROTECTED: Guard = Guard { pinned: false };
+    &UNPROTECTED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use std::sync::Arc;
+
+    struct DropCounter(Arc<StdAtomicUsize>);
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn owned_round_trip() {
+        let guard = pin();
+        let owned = Owned::new(41_u64);
+        let shared = owned.into_shared(&guard);
+        assert_eq!(unsafe { *shared.deref() }, 41);
+        drop(unsafe { shared.into_owned() });
+    }
+
+    #[test]
+    fn cas_failure_returns_new() {
+        let atomic = Atomic::new(1_u64);
+        let guard = pin();
+        let current = atomic.load(Ordering::Acquire, &guard);
+        let stale = Shared::null();
+        let err = atomic
+            .compare_exchange(
+                stale,
+                Owned::new(2_u64),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            )
+            .expect_err("stale expected value must fail");
+        assert_eq!(*err.new, 2, "new handed back intact");
+        assert_eq!(err.current, current);
+        drop(err);
+        // Clean up.
+        let last = atomic.load(Ordering::Acquire, &guard);
+        drop(unsafe { last.into_owned() });
+    }
+
+    #[test]
+    fn deferred_destruction_happens_after_unpin() {
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let atomic = Atomic::new(DropCounter(Arc::clone(&drops)));
+        {
+            let guard = pin();
+            let old = atomic.load(Ordering::Acquire, &guard);
+            atomic.store(
+                Owned::new(DropCounter(Arc::clone(&drops))),
+                Ordering::Release,
+            );
+            unsafe { guard.defer_destroy(old) };
+        }
+        // Drive epochs forward from a clean (unpinned) state. Other tests
+        // in this process may hold pins transiently, so spin with yields
+        // rather than assuming a fixed number of flushes suffices.
+        for _ in 0..100_000 {
+            if drops.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            let guard = pin();
+            guard.flush();
+            drop(guard);
+            std::thread::yield_now();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "old value destroyed");
+        let guard = unsafe { unprotected() };
+        let last = atomic.load(Ordering::Relaxed, guard);
+        drop(unsafe { last.into_owned() });
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn pinned_reader_blocks_destruction() {
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let atomic = Arc::new(Atomic::new(DropCounter(Arc::clone(&drops))));
+
+        // A reader thread pins and holds while we retire the value.
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let reader = {
+            let atomic = Arc::clone(&atomic);
+            std::thread::spawn(move || {
+                let guard = pin();
+                let shared = atomic.load(Ordering::Acquire, &guard);
+                assert!(!shared.is_null());
+                ready_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+                drop(guard);
+            })
+        };
+        ready_rx.recv().unwrap();
+
+        {
+            let guard = pin();
+            let old = atomic.load(Ordering::Acquire, &guard);
+            atomic.store(
+                Owned::new(DropCounter(Arc::clone(&drops))),
+                Ordering::Release,
+            );
+            unsafe { guard.defer_destroy(old) };
+            for _ in 0..8 {
+                guard.flush();
+            }
+            assert_eq!(drops.load(Ordering::SeqCst), 0, "reader still pinned");
+        }
+
+        release_tx.send(()).unwrap();
+        reader.join().unwrap();
+        for _ in 0..100_000 {
+            if drops.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            let guard = pin();
+            guard.flush();
+            drop(guard);
+            std::thread::yield_now();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "destroyed after unpin");
+        let guard = unsafe { unprotected() };
+        let last = atomic.load(Ordering::Relaxed, guard);
+        drop(unsafe { last.into_owned() });
+    }
+}

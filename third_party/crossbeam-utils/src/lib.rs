@@ -1,0 +1,84 @@
+//! Vendored minimal stand-in for the parts of `crossbeam-utils` this
+//! workspace uses, so the build works without network access to a registry.
+//!
+//! Only [`CachePadded`] is provided; the API is signature-compatible with
+//! the real crate for the call sites in this repository.
+
+#![warn(missing_docs)]
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache line, preventing false
+/// sharing between adjacent hot atomics.
+///
+/// 128 bytes covers the spatial-prefetcher pairing on modern x86 as well as
+/// the 128-byte lines on several aarch64 parts — the same conservative
+/// choice the real crate makes on these targets.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+unsafe impl<T: Send> Send for CachePadded<T> {}
+unsafe impl<T: Sync> Sync for CachePadded<T> {}
+
+impl<T> CachePadded<T> {
+    /// Pads and aligns `value` to the cache-line length.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded")
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_cache_line_aligned() {
+        assert_eq!(core::mem::align_of::<CachePadded<u8>>(), 128);
+        assert!(core::mem::size_of::<CachePadded<u8>>() >= 128);
+    }
+
+    #[test]
+    fn derefs_to_inner() {
+        let mut padded = CachePadded::new(7_u64);
+        assert_eq!(*padded, 7);
+        *padded = 9;
+        assert_eq!(padded.into_inner(), 9);
+    }
+}

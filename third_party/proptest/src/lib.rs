@@ -1,0 +1,493 @@
+//! Vendored minimal stand-in for the parts of `proptest` this workspace
+//! uses, so the build works without network access to a registry.
+//!
+//! A property test here is a deterministic loop: a per-test xorshift RNG
+//! (seeded from the test name, so failures reproduce run-to-run) drives
+//! [`Strategy`] sampling for each case, and the `prop_assert*` macros
+//! report failures with the offending values. Shrinking is intentionally
+//! not implemented — failures print the raw case instead.
+//!
+//! Supported surface: `proptest!` (with optional `#![proptest_config]`),
+//! `prop_oneof!`, `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/
+//! `prop_assume!`, [`Just`], [`any`], `.prop_map`, integer range
+//! strategies, `prop::collection::vec`, and `prop::option::of`.
+
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+
+// --- RNG --------------------------------------------------------------------
+
+/// Deterministic per-test random number generator (xorshift64*).
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds from a test name via FNV-1a so every test gets a distinct,
+    /// stable stream.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(hash | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+// --- errors and config ------------------------------------------------------
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`; another case is drawn.
+    Reject,
+    /// The case failed an assertion; the test panics with this message.
+    Fail(String),
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// --- strategies -------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces (a clone of) the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Uniformly one of several boxed strategies (see `prop_oneof!`).
+pub struct OneOf<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> OneOf<V> {
+    /// Builds from a non-empty list of alternatives.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> OneOf<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs an alternative");
+        OneOf { options }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let index = rng.below(self.options.len() as u64) as usize;
+        self.options[index].sample(rng)
+    }
+}
+
+/// Helper the `prop_oneof!` macro uses to erase strategy types.
+pub trait IntoBoxedStrategy: Strategy + Sized + 'static {
+    /// Boxes the strategy.
+    fn boxed_strategy(self) -> Box<dyn Strategy<Value = Self::Value>> {
+        Box::new(self)
+    }
+}
+
+impl<S: Strategy + Sized + 'static> IntoBoxedStrategy for S {}
+
+/// Types with a canonical "any value" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Container and combinator strategies, re-exported as `prop::...` to
+/// match the real crate's paths.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// The strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.end - self.size.start).max(1) as u64;
+                let len = self.size.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// A `Vec` whose length is drawn from `size` and whose elements are
+        /// drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// The strategy returned by [`of`].
+        pub struct OptionStrategy<S>(S);
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.next_u64() & 1 == 1 {
+                    Some(self.0.sample(rng))
+                } else {
+                    None
+                }
+            }
+        }
+
+        /// `Some` of `inner` half the time, `None` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+    }
+}
+
+// --- runner -----------------------------------------------------------------
+
+/// Drives one `proptest!`-generated test: draws cases until `config.cases`
+/// pass, panicking on the first failure. Not part of the public API shape
+/// of the real crate; used by the macro expansion only.
+pub fn run_proptest(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::for_test(name);
+    let mut executed = 0_u32;
+    let mut attempts = 0_u32;
+    let max_attempts = config.cases.saturating_mul(10).max(100);
+    while executed < config.cases && attempts < max_attempts {
+        attempts += 1;
+        match case(&mut rng) {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(message)) => {
+                panic!("proptest '{name}' failed (case {attempts}): {message}")
+            }
+        }
+    }
+    assert!(
+        executed > 0,
+        "proptest '{name}': every case was rejected by prop_assume!"
+    );
+}
+
+// --- macros -----------------------------------------------------------------
+
+/// Defines property tests; see the real crate for the full grammar. The
+/// subset supported: an optional `#![proptest_config(expr)]` header and
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr; ) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::run_proptest(&config, stringify!($name), |rng| {
+                $(let $arg = $crate::Strategy::sample(&($strategy), rng);)*
+                let body = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                };
+                body()
+            });
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+/// Uniformly picks one of the listed strategies each case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $($crate::IntoBoxedStrategy::boxed_strategy($strategy)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// panicking directly) so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "prop_assert_eq! failed: {:?} != {:?}",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// `prop_assert!` for inequality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "prop_assert_ne! failed: both sides are {:?}",
+                left
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (drawing a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The conventional glob import, mirroring the real crate.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        let mut c = crate::TestRng::for_test("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in 10u64..20) {
+            prop_assert!((10..20).contains(&v));
+        }
+
+        #[test]
+        fn maps_apply(v in (0u32..5).prop_map(|x| x * 2)) {
+            prop_assert!(v % 2 == 0 && v < 10);
+        }
+
+        #[test]
+        fn oneof_and_collections(
+            items in prop::collection::vec(prop_oneof![Just(1u64), 5u64..8], 0..10),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(items.len() < 10);
+            for item in &items {
+                prop_assert!(*item == 1 || (5..8).contains(item));
+            }
+            prop_assume!(flag || items.len() < 100);
+        }
+
+        #[test]
+        fn options_cover_both_variants(opt in prop::option::of(0u64..3)) {
+            if let Some(v) = opt {
+                prop_assert!(v < 3);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prop_assert_eq! failed")]
+    fn failures_panic_with_values() {
+        proptest! {
+            fn inner(v in 0u64..4) {
+                prop_assert_eq!(v, 100);
+            }
+        }
+        inner();
+    }
+}
