@@ -55,6 +55,11 @@ pub struct SegArena<P: Platform> {
     enq_counts: Vec<P::Cell>,
     /// Per-segment dequeue indices: `{index, gen}`.
     deq_idxs: Vec<P::Cell>,
+    /// Per-segment prefill counts: `{count, gen}`. Written only while a
+    /// segment is privately owned (before a bulk splice publishes it);
+    /// slots below the prefill count are published by the splice CAS
+    /// itself, with no per-slot state transition.
+    prefills: Vec<P::Cell>,
     /// Per-segment links: `{segment index, modification counter}`.
     nexts: Vec<P::Cell>,
     /// Per-segment authoritative generation (full 64-bit, monotone).
@@ -90,6 +95,9 @@ impl<P: Platform> SegArena<P> {
         let deq_idxs = (0..seg_count)
             .map(|_| platform.alloc_cell(Tagged::new(0, 0).raw()))
             .collect();
+        let prefills = (0..seg_count)
+            .map(|_| platform.alloc_cell(Tagged::new(0, 0).raw()))
+            .collect();
         // Thread the free list: segment i links to i + 1, the last to NULL.
         let nexts: Vec<P::Cell> = (0..seg_count)
             .map(|i| {
@@ -104,6 +112,7 @@ impl<P: Platform> SegArena<P> {
             values,
             enq_counts,
             deq_idxs,
+            prefills,
             nexts,
             gens,
             free_top,
@@ -168,6 +177,7 @@ impl<P: Platform> SegArena<P> {
         }
         self.enq_counts[seg as usize].store(Tagged::new(0, gtag).raw());
         self.deq_idxs[seg as usize].store(Tagged::new(0, gtag).raw());
+        self.prefills[seg as usize].store(Tagged::new(0, gtag).raw());
         loop {
             let top = Tagged::from_raw(self.free_top.load());
             self.set_next(seg, top.index());
@@ -202,6 +212,16 @@ impl<P: Platform> SegArena<P> {
     /// Direct access to the segment's dequeue-index word (`{index, gen}`).
     pub fn deq_cell(&self, seg: u32) -> &P::Cell {
         &self.deq_idxs[seg as usize]
+    }
+
+    /// Direct access to the segment's prefill-count word (`{count, gen}`).
+    ///
+    /// Slots below the prefill count were published wholesale by a bulk
+    /// splice: their value words are authoritative and their state words
+    /// are still in the reset (`EMPTY`) state. Dequeuers must consult this
+    /// word before interpreting a slot's state.
+    pub fn prefill_cell(&self, seg: u32) -> &P::Cell {
+        &self.prefills[seg as usize]
     }
 
     /// Reads a segment's next word.

@@ -14,6 +14,8 @@
 //!
 //! Run from the workspace root: `cargo run --release -p msq-bench --bin
 //! segbench`. Writes `BENCH_segqueue.json` in the current directory.
+//! Pass `--smoke` for a scaled-down CI sanity run (same cells, same JSON
+//! shape, sizes small enough for a debug-speed machine).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -25,6 +27,9 @@ use msq_sim::{SimConfig, Simulation};
 
 /// Queue-op pairs each simulated process performs.
 const SIM_PAIRS_PER_PROC: u64 = 200;
+/// Scaled-down sizes for `--smoke` (CI sanity run; same shape, same JSON).
+const SMOKE_SIM_PAIRS_PER_PROC: u64 = 50;
+const SMOKE_NATIVE_PAIRS: u64 = 50_000;
 /// Ops per burst: each process alternates bursts of enqueues and
 /// dequeues, the shape batching is designed for (a strict
 /// enqueue-one-dequeue-one ping-pong keeps the queue empty, so every
@@ -41,7 +46,7 @@ struct SimCell {
     elapsed_virtual_ns: u64,
 }
 
-fn run_sim_cell(algorithm: Algorithm, processors: usize) -> SimCell {
+fn run_sim_cell(algorithm: Algorithm, processors: usize, pairs_per_proc: u64) -> SimCell {
     let sim = Simulation::new(SimConfig {
         processors,
         ..SimConfig::default()
@@ -50,7 +55,7 @@ fn run_sim_cell(algorithm: Algorithm, processors: usize) -> SimCell {
     let report = sim.run({
         let queue = Arc::clone(&queue);
         move |info| {
-            for round in 0..SIM_PAIRS_PER_PROC / BURST {
+            for round in 0..pairs_per_proc / BURST {
                 for i in 0..BURST {
                     let payload = ((info.pid as u64) << 32) | (round * BURST + i);
                     queue.enqueue(payload).unwrap();
@@ -61,7 +66,7 @@ fn run_sim_cell(algorithm: Algorithm, processors: usize) -> SimCell {
             }
         }
     });
-    let queue_ops = 2 * SIM_PAIRS_PER_PROC * processors as u64;
+    let queue_ops = 2 * pairs_per_proc * processors as u64;
     SimCell {
         algorithm,
         processors,
@@ -71,7 +76,7 @@ fn run_sim_cell(algorithm: Algorithm, processors: usize) -> SimCell {
     }
 }
 
-fn native_pairs_per_sec(algorithm: Algorithm) -> f64 {
+fn native_pairs_per_sec(algorithm: Algorithm, pairs: u64) -> f64 {
     let platform = NativePlatform::new();
     let queue = algorithm.build(&platform, 4_096);
     // Warm up allocations and branch predictors.
@@ -80,20 +85,26 @@ fn native_pairs_per_sec(algorithm: Algorithm) -> f64 {
         queue.dequeue();
     }
     let start = Instant::now();
-    for i in 0..NATIVE_PAIRS {
+    for i in 0..pairs {
         queue.enqueue(i).unwrap();
         std::hint::black_box(queue.dequeue());
     }
-    NATIVE_PAIRS as f64 / start.elapsed().as_secs_f64()
+    pairs as f64 / start.elapsed().as_secs_f64()
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sim_pairs, native_pairs) = if smoke {
+        (SMOKE_SIM_PAIRS_PER_PROC, SMOKE_NATIVE_PAIRS)
+    } else {
+        (SIM_PAIRS_PER_PROC, NATIVE_PAIRS)
+    };
     let contenders = [Algorithm::NewNonBlocking, Algorithm::SegBatched];
 
     let mut sim_cells = Vec::new();
     for processors in [4_usize, 8] {
         for algorithm in contenders {
-            let cell = run_sim_cell(algorithm, processors);
+            let cell = run_sim_cell(algorithm, processors, sim_pairs);
             eprintln!(
                 "sim {}p {:<16} {:.2} misses/op, {} CAS failures, {} virtual ns",
                 processors,
@@ -108,7 +119,7 @@ fn main() {
 
     let mut native = Vec::new();
     for algorithm in contenders {
-        let pairs_per_sec = native_pairs_per_sec(algorithm);
+        let pairs_per_sec = native_pairs_per_sec(algorithm, native_pairs);
         eprintln!(
             "native {:<16} {:.0} pairs/sec",
             algorithm.label(),
@@ -139,7 +150,7 @@ fn main() {
         json,
         "  \"description\": \"seg-batched vs new-nonblocking; sim misses/op at max contention, native single-thread pairs/sec\","
     );
-    let _ = writeln!(json, "  \"sim_pairs_per_proc\": {SIM_PAIRS_PER_PROC},");
+    let _ = writeln!(json, "  \"sim_pairs_per_proc\": {sim_pairs},");
     json.push_str("  \"sim\": [\n");
     for (i, cell) in sim_cells.iter().enumerate() {
         let _ = writeln!(

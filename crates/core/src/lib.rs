@@ -33,6 +33,13 @@
 //!   abstraction (arena-backed, tagged indices), so it runs inside the
 //!   `msq-sim` coherence simulator next to the paper's six algorithms.
 //!
+//! Both flavours support **bulk operations** (`enqueue_batch` /
+//! `dequeue_batch`) that amortize the contended link and index CASes over
+//! whole segments, and both have a **sharded relaxed-FIFO front-end**
+//! ([`ShardedQueue`] / [`WordShardedQueue`]) that stripes load across
+//! independent sub-queues behind thread-affine dispatch (per-shard FIFO
+//! only — see the `sharded` module docs for the weakened contract).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -65,6 +72,7 @@
 mod epoch_queue;
 mod ms_queue;
 mod seg_queue;
+mod sharded;
 pub mod spsc;
 mod stack;
 mod two_lock_queue;
@@ -75,6 +83,7 @@ mod word_two_lock;
 pub use epoch_queue::EpochMsQueue;
 pub use ms_queue::MsQueue;
 pub use seg_queue::{SegConfig, SegQueue, SegStats};
+pub use sharded::{ShardedQueue, WordShardedQueue, DEFAULT_SHARDS};
 pub use spsc::channel as spsc_channel;
 pub use stack::LockFreeStack;
 pub use two_lock_queue::TwoLockQueue;

@@ -28,4 +28,7 @@ mod workload;
 
 pub use figures::{figure_spec, run_figure, FigureData, FigureRow, FigureSpec};
 pub use registry::Algorithm;
-pub use workload::{run_native, run_simulated, MeasuredPoint, WorkloadConfig};
+pub use workload::{
+    run_native, run_native_batched, run_simulated, run_simulated_batched, MeasuredPoint,
+    WorkloadConfig,
+};

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use msq_baselines::{McQueue, PljQueue, SingleLockQueue, ValoisQueue};
-use msq_core::{WordMsQueue, WordSegQueue, WordTwoLockQueue};
+use msq_core::{WordMsQueue, WordSegQueue, WordShardedQueue, WordTwoLockQueue};
 use msq_platform::{ConcurrentWordQueue, Platform};
 
 /// The six algorithms of Figures 3–5, in the paper's legend order, plus
@@ -28,6 +28,11 @@ pub enum Algorithm {
     /// `fetch_add` slot claims amortizing the CAS traffic. Not one of the
     /// paper's six; excluded from the Figures 3–5 legends.
     SegBatched,
+    /// "sharded": extension — a relaxed-FIFO front-end striping load
+    /// across independent seg-batched sub-queues behind thread-affine
+    /// dispatch. Per-shard FIFO only; excluded from the Figures 3–5
+    /// legends.
+    Sharded,
 }
 
 impl Algorithm {
@@ -42,17 +47,28 @@ impl Algorithm {
         Algorithm::NewNonBlocking,
     ];
 
+    /// The extension contenders: everything benchable that is *not* one
+    /// of the paper's six. New extensions are added here (and only here);
+    /// [`Algorithm::WITH_EXTENSIONS`] is derived.
+    pub const EXTENSIONS: [Algorithm; 2] = [Algorithm::SegBatched, Algorithm::Sharded];
+
     /// The paper's six plus the extension contenders, for benches and
-    /// ad-hoc comparisons.
-    pub const WITH_EXTENSIONS: [Algorithm; 7] = [
-        Algorithm::SingleLock,
-        Algorithm::MellorCrummey,
-        Algorithm::Valois,
-        Algorithm::NewTwoLock,
-        Algorithm::PljNonBlocking,
-        Algorithm::NewNonBlocking,
-        Algorithm::SegBatched,
-    ];
+    /// ad-hoc comparisons. Derived as `ALL ++ EXTENSIONS` so the paper
+    /// prefix can never drift out of sync with the legend order.
+    pub const WITH_EXTENSIONS: [Algorithm; Algorithm::ALL.len() + Algorithm::EXTENSIONS.len()] = {
+        let mut out = [Algorithm::SingleLock; Algorithm::ALL.len() + Algorithm::EXTENSIONS.len()];
+        let mut i = 0;
+        while i < Algorithm::ALL.len() {
+            out[i] = Algorithm::ALL[i];
+            i += 1;
+        }
+        let mut j = 0;
+        while j < Algorithm::EXTENSIONS.len() {
+            out[Algorithm::ALL.len() + j] = Algorithm::EXTENSIONS[j];
+            j += 1;
+        }
+        out
+    };
 
     /// The label used in figures and CSV headers.
     pub fn label(self) -> &'static str {
@@ -64,6 +80,7 @@ impl Algorithm {
             Algorithm::PljNonBlocking => "plj-nonblocking",
             Algorithm::NewNonBlocking => "new-nonblocking",
             Algorithm::SegBatched => "seg-batched",
+            Algorithm::Sharded => "sharded",
         }
     }
 
@@ -82,6 +99,7 @@ impl Algorithm {
                 | Algorithm::PljNonBlocking
                 | Algorithm::NewNonBlocking
                 | Algorithm::SegBatched
+                | Algorithm::Sharded
         )
     }
 
@@ -95,6 +113,7 @@ impl Algorithm {
             Algorithm::PljNonBlocking => Arc::new(PljQueue::with_capacity(platform, capacity)),
             Algorithm::NewNonBlocking => Arc::new(WordMsQueue::with_capacity(platform, capacity)),
             Algorithm::SegBatched => Arc::new(WordSegQueue::with_capacity(platform, capacity)),
+            Algorithm::Sharded => Arc::new(WordShardedQueue::with_capacity(platform, capacity)),
         }
     }
 }
@@ -146,11 +165,33 @@ mod tests {
 
     #[test]
     fn extensions_stay_out_of_the_paper_legend() {
-        assert!(!Algorithm::ALL.contains(&Algorithm::SegBatched));
+        assert_eq!(Algorithm::ALL.len(), 6, "the paper has exactly six");
+        for ext in Algorithm::EXTENSIONS {
+            assert!(!Algorithm::ALL.contains(&ext), "{ext} leaked into ALL");
+        }
+        assert_eq!(Algorithm::SegBatched.label(), "seg-batched");
+        assert_eq!(Algorithm::Sharded.label(), "sharded");
+    }
+
+    #[test]
+    fn with_extensions_is_all_then_extensions() {
+        assert_eq!(
+            Algorithm::WITH_EXTENSIONS.len(),
+            Algorithm::ALL.len() + Algorithm::EXTENSIONS.len()
+        );
         assert_eq!(
             Algorithm::WITH_EXTENSIONS[..Algorithm::ALL.len()],
             Algorithm::ALL
         );
-        assert_eq!(Algorithm::SegBatched.label(), "seg-batched");
+        assert_eq!(
+            Algorithm::WITH_EXTENSIONS[Algorithm::ALL.len()..],
+            Algorithm::EXTENSIONS
+        );
+        // No duplicates anywhere.
+        for (i, a) in Algorithm::WITH_EXTENSIONS.iter().enumerate() {
+            for b in &Algorithm::WITH_EXTENSIONS[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 }

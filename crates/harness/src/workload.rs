@@ -101,6 +101,54 @@ fn process_body<P: Platform>(
     }
 }
 
+/// The per-process loop in batch mode: enqueue a whole batch, other work,
+/// dequeue the batch back, other work. One round of `batch` pairs does
+/// the "other work" spins once, so batch mode isolates the queue-traffic
+/// cost the way the paper's per-op workload does — see
+/// [`run_simulated_batched`] for the matching net-time accounting.
+fn process_body_batched<P: Platform>(
+    queue: &dyn ConcurrentWordQueue,
+    platform: &P,
+    pid: usize,
+    my_pairs: u64,
+    other_work_ns: u64,
+    batch: usize,
+) {
+    let mut out: Vec<u64> = Vec::with_capacity(batch);
+    let mut done = 0u64;
+    while done < my_pairs {
+        let b = (my_pairs - done).min(batch as u64);
+        let values: Vec<u64> = (done..done + b).map(|i| ((pid as u64) << 40) | i).collect();
+        let mut rest: &[u64] = &values;
+        // A bounded queue can fill transiently; retry the unconsumed
+        // suffix (the prefix is already in, in order).
+        loop {
+            match queue.enqueue_batch(rest) {
+                Ok(()) => break,
+                Err(e) => {
+                    rest = &rest[e.pushed..];
+                    platform.cpu_relax();
+                }
+            }
+        }
+        platform.delay(other_work_ns);
+        // Every process enqueues its batch before collecting one back, so
+        // the union of shards/segments holds at least `b` values while
+        // anyone is still collecting; empty sweeps are transient.
+        let mut taken = 0usize;
+        while taken < b as usize {
+            let got = queue.dequeue_batch(&mut out, b as usize - taken);
+            if got == 0 {
+                platform.cpu_relax();
+            }
+            taken += got;
+        }
+        out.clear();
+        platform.delay(other_work_ns);
+        done += b;
+    }
+}
+
 /// Runs the workload for `algorithm` on a simulated machine.
 ///
 /// `sim_config.processors` and `.processes_per_processor` select the
@@ -178,6 +226,108 @@ pub fn run_native(
     }
     let elapsed_ns = start.elapsed().as_nanos() as u64;
     let per_processor_other_work = (pairs_total / processes as u64) * 2 * other_work_ns;
+    MeasuredPoint {
+        algorithm,
+        processors: processes,
+        processes,
+        pairs: pairs_total,
+        elapsed_ns,
+        net_ns: elapsed_ns.saturating_sub(per_processor_other_work),
+        miss_rate: 0.0,
+        cas_failures: 0,
+        preemptions: 0,
+    }
+}
+
+/// Runs the **batch-mode** workload for `algorithm` on a simulated
+/// machine: each process moves its pairs in rounds of `batch` via
+/// `enqueue_batch`/`dequeue_batch` (the trait defaults degrade to per-op
+/// loops for the paper's six, so every algorithm is drivable).
+///
+/// Net-time accounting matches the round structure: one round of `batch`
+/// pairs spins the ~6 µs "other work" twice, so a processor's other-work
+/// share is `(pairs / processors / batch) * 2 * other_work_ns`.
+pub fn run_simulated_batched(
+    algorithm: Algorithm,
+    sim_config: SimConfig,
+    workload: &WorkloadConfig,
+    batch: usize,
+) -> MeasuredPoint {
+    assert!(batch >= 1);
+    let sim = Simulation::new(sim_config);
+    let platform = sim.platform();
+    let queue = algorithm.build(&platform, workload.capacity);
+    let n = sim.num_processes();
+    // Every process may hold a whole batch in flight; a tighter capacity
+    // could deadlock all producers against a full queue.
+    assert!(
+        u64::from(workload.capacity) >= (n as u64) * (batch as u64),
+        "capacity must cover processes * batch"
+    );
+    let pairs_total = workload.pairs_total;
+    let other_work_ns = workload.other_work_ns;
+    let report = sim.run({
+        let queue = Arc::clone(&queue);
+        let platform = platform.clone();
+        move |info| {
+            let my_pairs = share(pairs_total, info.num_processes, info.pid);
+            process_body_batched(&*queue, &platform, info.pid, my_pairs, other_work_ns, batch);
+        }
+    });
+    debug_assert_eq!(queue.dequeue(), None, "workload must drain the queue");
+    let rounds_per_processor = pairs_total / sim_config.processors as u64 / batch as u64;
+    let per_processor_other_work = rounds_per_processor * 2 * other_work_ns;
+    MeasuredPoint {
+        algorithm,
+        processors: sim_config.processors,
+        processes: n,
+        pairs: pairs_total,
+        elapsed_ns: report.elapsed_ns,
+        net_ns: report.elapsed_ns.saturating_sub(per_processor_other_work),
+        miss_rate: report.miss_rate(),
+        cas_failures: report.cas_failures,
+        preemptions: report.preemptions,
+    }
+}
+
+/// Runs the batch-mode workload for `algorithm` on real threads; the
+/// native counterpart of [`run_simulated_batched`].
+pub fn run_native_batched(
+    algorithm: Algorithm,
+    processes: usize,
+    workload: &WorkloadConfig,
+    batch: usize,
+) -> MeasuredPoint {
+    assert!(processes >= 1);
+    assert!(batch >= 1);
+    assert!(
+        u64::from(workload.capacity) >= (processes as u64) * (batch as u64),
+        "capacity must cover processes * batch"
+    );
+    let platform = NativePlatform::new();
+    let queue = algorithm.build(&platform, workload.capacity);
+    let barrier = Arc::new(Barrier::new(processes + 1));
+    let pairs_total = workload.pairs_total;
+    let other_work_ns = workload.other_work_ns;
+    let mut handles = Vec::new();
+    for pid in 0..processes {
+        let queue = Arc::clone(&queue);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let platform = NativePlatform::new();
+            let my_pairs = share(pairs_total, processes, pid);
+            barrier.wait();
+            process_body_batched(&*queue, &platform, pid, my_pairs, other_work_ns, batch);
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    for handle in handles {
+        handle.join().expect("workload thread");
+    }
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let rounds_per_processor = pairs_total / processes as u64 / batch as u64;
+    let per_processor_other_work = rounds_per_processor * 2 * other_work_ns;
     MeasuredPoint {
         algorithm,
         processors: processes,
@@ -269,6 +419,69 @@ mod tests {
         let point = run_native(Algorithm::NewNonBlocking, 2, &tiny());
         assert!(point.elapsed_ns > 0);
         assert_eq!(point.processes, 2);
+    }
+
+    #[test]
+    fn simulated_batched_run_completes_for_batchers_and_loopers() {
+        // A real batcher, the sharded front-end, and a trait-default
+        // per-op looper all drive the same workload.
+        for alg in [
+            Algorithm::SegBatched,
+            Algorithm::Sharded,
+            Algorithm::NewNonBlocking,
+        ] {
+            let point = run_simulated_batched(
+                alg,
+                SimConfig {
+                    processors: 2,
+                    ..SimConfig::default()
+                },
+                &tiny(),
+                8,
+            );
+            assert!(point.elapsed_ns > 0, "{alg}");
+            assert_eq!(point.pairs, 300, "{alg}");
+        }
+    }
+
+    #[test]
+    fn simulated_batched_runs_are_deterministic() {
+        let run = || {
+            run_simulated_batched(
+                Algorithm::Sharded,
+                SimConfig {
+                    processors: 3,
+                    ..SimConfig::default()
+                },
+                &tiny(),
+                8,
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.elapsed_ns, b.elapsed_ns);
+        assert_eq!(a.cas_failures, b.cas_failures);
+    }
+
+    #[test]
+    fn native_batched_run_completes() {
+        let point = run_native_batched(Algorithm::SegBatched, 2, &tiny(), 16);
+        assert!(point.elapsed_ns > 0);
+        assert_eq!(point.processes, 2);
+    }
+
+    #[test]
+    fn batch_of_one_matches_per_op_structure() {
+        // batch=1 must be a valid degenerate case, not a special one.
+        let point = run_simulated_batched(
+            Algorithm::SegBatched,
+            SimConfig {
+                processors: 2,
+                ..SimConfig::default()
+            },
+            &tiny(),
+            1,
+        );
+        assert!(point.elapsed_ns > 0);
     }
 
     #[test]

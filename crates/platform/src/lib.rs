@@ -39,6 +39,6 @@ mod word;
 
 pub use backoff::{Backoff, BackoffConfig};
 pub use native::{NativeCell, NativePlatform};
-pub use queue::{ConcurrentStack, ConcurrentWordQueue, QueueFull};
+pub use queue::{BatchFull, ConcurrentStack, ConcurrentWordQueue, QueueFull};
 pub use tagged::{Tagged, NULL_INDEX};
 pub use word::{AtomicWord, Platform};

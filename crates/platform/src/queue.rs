@@ -22,6 +22,37 @@ impl fmt::Display for QueueFull {
 
 impl std::error::Error for QueueFull {}
 
+/// Error returned when a bounded structure runs out of storage part-way
+/// through a batch operation.
+///
+/// `pushed` values from the front of the batch **were** enqueued (the
+/// batch prefix is in the queue, in order); the unconsumed suffix is
+/// `&values[pushed..]`, which the caller may retry once space frees up.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct BatchFull {
+    /// How many values from the front of the batch were enqueued before
+    /// storage ran out.
+    pub pushed: usize,
+}
+
+impl fmt::Debug for BatchFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BatchFull(pushed={})", self.pushed)
+    }
+}
+
+impl fmt::Display for BatchFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "queue storage exhausted after {} values; batch suffix not enqueued",
+            self.pushed
+        )
+    }
+}
+
+impl std::error::Error for BatchFull {}
+
 /// A multi-producer multi-consumer FIFO queue of `u64` values.
 ///
 /// All six algorithms in the paper's evaluation implement this trait
@@ -44,6 +75,49 @@ pub trait ConcurrentWordQueue: Send + Sync {
     /// Removes and returns the value at the head, or `None` if the queue is
     /// observed empty.
     fn dequeue(&self) -> Option<u64>;
+
+    /// Adds every value in `values` at the tail, preserving slice order.
+    ///
+    /// The default implementation is a per-operation loop, so the paper's
+    /// six algorithms satisfy the batch API without modification; batching
+    /// implementations (the segment queue) override it to publish a whole
+    /// pre-filled segment with a single link CAS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchFull`] if storage runs out mid-batch. The error's
+    /// `pushed` field counts how many values from the front of the slice
+    /// were enqueued; the unconsumed suffix `&values[pushed..]` was not,
+    /// and may be retried.
+    fn enqueue_batch(&self, values: &[u64]) -> Result<(), BatchFull> {
+        for (pushed, &value) in values.iter().enumerate() {
+            if self.enqueue(value).is_err() {
+                return Err(BatchFull { pushed });
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes up to `max` values from the head, appending them to `out`
+    /// in dequeue order. Returns how many values were taken; fewer than
+    /// `max` (possibly zero) means the queue was observed empty.
+    ///
+    /// The default implementation is a per-operation loop; batching
+    /// implementations override it to claim a run of slots with one
+    /// contended atomic and drain the run locally.
+    fn dequeue_batch(&self, out: &mut Vec<u64>, max: usize) -> usize {
+        let mut taken = 0;
+        while taken < max {
+            match self.dequeue() {
+                Some(value) => {
+                    out.push(value);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        taken
+    }
 
     /// A short stable identifier used in reports (e.g. `"ms-nonblocking"`).
     fn name(&self) -> &'static str;

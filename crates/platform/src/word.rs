@@ -97,4 +97,31 @@ pub trait Platform: Clone + Send + Sync + Sized + 'static {
         static SEQ: AtomicU64 = AtomicU64::new(0x243f_6a88_85a3_08d3);
         SEQ.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
     }
+
+    /// A small stable integer identifying the calling execution context,
+    /// used by sharded structures to pick a home shard (`hint % shards`).
+    ///
+    /// Contract: the hint must be stable for the lifetime of the calling
+    /// thread/process and should differ between concurrently-running
+    /// contexts so they spread across shards. It carries no ordering or
+    /// uniqueness guarantee beyond that.
+    ///
+    /// The default hands each OS thread the next value of a global
+    /// counter on first use. The simulator overrides this with the
+    /// simulated process id, which keeps shard assignment deterministic
+    /// across runs regardless of host-thread scheduling.
+    fn affinity_hint(&self) -> usize {
+        use std::cell::Cell;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static NEXT_TOKEN: AtomicUsize = AtomicUsize::new(0);
+        thread_local! {
+            static TOKEN: Cell<usize> = const { Cell::new(usize::MAX) };
+        }
+        TOKEN.with(|token| {
+            if token.get() == usize::MAX {
+                token.set(NEXT_TOKEN.fetch_add(1, Ordering::Relaxed));
+            }
+            token.get()
+        })
+    }
 }

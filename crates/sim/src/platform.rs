@@ -105,6 +105,14 @@ impl Platform for SimPlatform {
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^ (z >> 31)
     }
+
+    fn affinity_hint(&self) -> usize {
+        // The simulated process id: stable for the process's lifetime and
+        // identical on every run, so sharded structures dispatch
+        // deterministically. Setup/inspection threads (unbound) all map
+        // to 0, which is fine — setup is untimed and single-threaded.
+        current_pid().unwrap_or(0)
+    }
 }
 
 /// A simulated shared-memory word.

@@ -20,7 +20,12 @@
 //!   abstraction and an arena free list, runnable natively or simulated.
 //! * [`SegQueue`] / [`WordSegQueue`] — beyond the paper: the same linked
 //!   structure with array *segments* for nodes, so most operations are a
-//!   single `fetch_add` instead of a CAS retry loop.
+//!   single `fetch_add` instead of a CAS retry loop. Both expose bulk
+//!   `enqueue_batch`/`dequeue_batch` operations that splice privately
+//!   pre-filled segments with a single link CAS.
+//! * [`ShardedQueue`] / [`WordShardedQueue`] — a relaxed-FIFO front-end
+//!   striping load across independent seg-batched sub-queues behind
+//!   thread-affine dispatch (per-shard FIFO, visible emptiness).
 //!
 //! ## The baselines ([`baselines`])
 //!
@@ -70,13 +75,17 @@ pub use msq_baselines::{
 };
 pub use msq_core::{
     spsc_channel, EpochMsQueue, LockFreeStack, MsQueue, SegConfig, SegQueue, SegStats,
-    TwoLockQueue, WordMsQueue, WordSegQueue, WordTwoLockQueue,
+    ShardedQueue, TwoLockQueue, WordMsQueue, WordSegQueue, WordShardedQueue, WordTwoLockQueue,
+    DEFAULT_SHARDS,
 };
-pub use msq_harness::{run_figure, run_native, run_simulated, Algorithm, WorkloadConfig};
+pub use msq_harness::{
+    run_figure, run_native, run_native_batched, run_simulated, run_simulated_batched, Algorithm,
+    WorkloadConfig,
+};
 pub use msq_linearize::{is_linearizable_queue, History, Recorder};
 pub use msq_platform::{
-    AtomicWord, Backoff, BackoffConfig, ConcurrentStack, ConcurrentWordQueue, NativePlatform,
-    Platform, QueueFull, Tagged,
+    AtomicWord, Backoff, BackoffConfig, BatchFull, ConcurrentStack, ConcurrentWordQueue,
+    NativePlatform, Platform, QueueFull, Tagged,
 };
 pub use msq_sim::{SimConfig, SimPlatform, SimReport, Simulation};
 pub use msq_sync::{ClhLock, McsLock, RawLock, TasLock, TicketLock, TokenLock, TtasLock};

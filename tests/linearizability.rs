@@ -9,13 +9,21 @@ use ms_queues::{
     is_linearizable_queue, Algorithm, NativePlatform, Recorder, SimConfig, Simulation,
 };
 
+use ms_queues::ConcurrentWordQueue;
+
 /// Records a small burst of genuinely concurrent operations and checks
 /// the exact history is linearizable. Repeated to sample many real
 /// interleavings.
 fn linearizable_small_windows(algorithm: Algorithm) {
     let platform = NativePlatform::new();
+    linearizable_small_windows_with(&format!("{algorithm}"), || algorithm.build(&platform, 64));
+}
+
+/// The same check for any queue constructor (used for configurations the
+/// [`Algorithm`] registry doesn't name, like a single-shard sharded queue).
+fn linearizable_small_windows_with(name: &str, build: impl Fn() -> Arc<dyn ConcurrentWordQueue>) {
     for round in 0..30 {
-        let queue = algorithm.build(&platform, 64);
+        let queue = build();
         let recorder = Recorder::new();
         let mut handles = Vec::new();
         for t in 0..3_u64 {
@@ -37,11 +45,11 @@ fn linearizable_small_windows(algorithm: Algorithm) {
         let history = recorder.finish();
         assert!(
             history.check_queue_safety().is_empty(),
-            "{algorithm}: fast checks failed in round {round}"
+            "{name}: fast checks failed in round {round}"
         );
         assert!(
             is_linearizable_queue(history.events()),
-            "{algorithm}: history not linearizable in round {round}: {:?}",
+            "{name}: history not linearizable in round {round}: {:?}",
             history.events()
         );
     }
@@ -152,4 +160,152 @@ linearizability_tests! {
     plj => Algorithm::PljNonBlocking,
     new_nonblocking => Algorithm::NewNonBlocking,
     seg_batched => Algorithm::SegBatched,
+}
+
+/// The sharded front-end is *relaxed*: only per-shard FIFO is promised, so
+/// the whole-queue Wing–Gong check does not apply to a multi-shard
+/// configuration (a sweep can return `None` from a momentarily nonempty
+/// queue, and values from different shards interleave freely). What we
+/// check instead:
+///
+/// 1. a **single-shard** composition is a linearizable queue — the
+///    dispatch layer adds no reordering of its own;
+/// 2. a **multi-shard** run satisfies the per-shard FIFO spec: each
+///    producer is thread-affine, so all its values funnel through one
+///    shard, and shard FIFO means every consumer must observe each
+///    producer's values in strictly increasing sequence order; plus
+///    exactly-once conservation and emptiness at quiescence.
+mod sharded {
+    use super::*;
+    use ms_queues::WordShardedQueue;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn single_shard_composition_is_linearizable() {
+        let platform = NativePlatform::new();
+        linearizable_small_windows_with("sharded(1)", || {
+            Arc::new(WordShardedQueue::with_shards(&platform, 64, 1))
+        });
+    }
+
+    fn check_per_shard_fifo(consumed: &[Vec<u64>], producers: u64, per_producer: u64) {
+        // Per consumer, per producer: sequence numbers strictly increase.
+        for (c, seq) in consumed.iter().enumerate() {
+            let mut last = vec![None::<u64>; producers as usize];
+            for &v in seq {
+                let producer = (v >> 32) as usize;
+                let i = v & 0xffff_ffff;
+                if let Some(prev) = last[producer] {
+                    assert!(
+                        i > prev,
+                        "consumer {c} saw producer {producer} reordered: \
+                         {i} after {prev}"
+                    );
+                }
+                last[producer] = Some(i);
+            }
+        }
+        // Exactly-once conservation across all consumers.
+        let mut all: Vec<u64> = consumed.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let mut want: Vec<u64> = (0..producers)
+            .flat_map(|t| (0..per_producer).map(move |i| (t << 32) | i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(all, want, "values lost or duplicated");
+    }
+
+    #[test]
+    fn multi_shard_preserves_per_shard_fifo_natively() {
+        let producers = 4_u64;
+        let per_producer = 1_000_u64;
+        let platform = NativePlatform::new();
+        // 4 shards of 4096 slots each: even if every producer landed on
+        // one shard, nothing spills to a neighbour, so each producer's
+        // values stay on a single FIFO shard.
+        let queue: Arc<WordShardedQueue<NativePlatform>> =
+            Arc::new(WordShardedQueue::with_shards(&platform, 16_384, 4));
+        let taken = Arc::new(AtomicU64::new(0));
+        let total = producers * per_producer;
+
+        let mut producer_handles = Vec::new();
+        for t in 0..producers {
+            let queue = Arc::clone(&queue);
+            producer_handles.push(std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    queue.enqueue((t << 32) | i).unwrap();
+                }
+            }));
+        }
+        let mut consumer_handles = Vec::new();
+        for _ in 0..2 {
+            let queue = Arc::clone(&queue);
+            let taken = Arc::clone(&taken);
+            consumer_handles.push(std::thread::spawn(move || {
+                let mut local = Vec::new();
+                while taken.load(Ordering::Relaxed) < total {
+                    if let Some(v) = queue.dequeue() {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                        local.push(v);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                local
+            }));
+        }
+        for handle in producer_handles {
+            handle.join().unwrap();
+        }
+        let consumed: Vec<Vec<u64>> = consumer_handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+
+        check_per_shard_fifo(&consumed, producers, per_producer);
+        // Quiescent emptiness: with no producers left, a full sweep must
+        // report the queue empty.
+        assert_eq!(queue.dequeue(), None);
+    }
+
+    #[test]
+    fn multi_shard_preserves_per_shard_fifo_simulated() {
+        use ms_queues::{SimConfig, Simulation};
+
+        let per_producer = 200_u64;
+        let producers = 2_u64; // pids 0 and 1 produce; pids 2 and 3 consume
+        let total = producers * per_producer;
+        let sim = Simulation::new(SimConfig {
+            processors: 4,
+            ..SimConfig::default()
+        });
+        let queue = Arc::new(WordShardedQueue::with_shards(&sim.platform(), 16_384, 4));
+        let taken = Arc::new(AtomicU64::new(0));
+        let consumed = Arc::new(Mutex::new(vec![Vec::new(), Vec::new()]));
+        sim.run({
+            let queue = Arc::clone(&queue);
+            let taken = Arc::clone(&taken);
+            let consumed = Arc::clone(&consumed);
+            move |info| {
+                if (info.pid as u64) < producers {
+                    let t = info.pid as u64;
+                    for i in 0..per_producer {
+                        queue.enqueue((t << 32) | i).unwrap();
+                    }
+                } else {
+                    let mut local = Vec::new();
+                    while taken.load(Ordering::Relaxed) < total {
+                        if let Some(v) = queue.dequeue() {
+                            taken.fetch_add(1, Ordering::Relaxed);
+                            local.push(v);
+                        }
+                    }
+                    consumed.lock().unwrap()[info.pid - 2] = local;
+                }
+            }
+        });
+        let consumed = Arc::try_unwrap(consumed).unwrap().into_inner().unwrap();
+        check_per_shard_fifo(&consumed, producers, per_producer);
+        assert_eq!(queue.dequeue(), None);
+    }
 }

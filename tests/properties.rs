@@ -187,6 +187,165 @@ proptest! {
     }
 }
 
+/// Mixed per-op and bulk traffic for the batch-capable queues: arbitrary
+/// interleavings of `enqueue`/`dequeue`/`enqueue_batch`/`dequeue_batch`
+/// must stay sequentially equivalent to the FIFO spec (a batch of k is k
+/// spec operations in slice order).
+#[derive(Clone, Debug)]
+enum BatchOp {
+    Enqueue(u64),
+    Dequeue,
+    EnqueueBatch(Vec<u64>),
+    DequeueBatch(usize),
+}
+
+fn batch_op_strategy() -> impl Strategy<Value = BatchOp> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(BatchOp::Enqueue),
+        Just(BatchOp::Dequeue),
+        prop::collection::vec(0u64..1_000_000, 0..40).prop_map(BatchOp::EnqueueBatch),
+        (0usize..40).prop_map(BatchOp::DequeueBatch),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The word-level seg-batched queue through the trait's batch entry
+    /// points: a successful `enqueue_batch` is the values in slice order,
+    /// `dequeue_batch(max)` is a prefix of what the spec would hand out.
+    #[test]
+    fn word_seg_batch_ops_match_model(ops in prop::collection::vec(batch_op_strategy(), 0..200)) {
+        let platform = NativePlatform::new();
+        let queue = Algorithm::SegBatched.build(&platform, 2_048);
+        let mut spec = SequentialQueue::new();
+        let mut out = Vec::new();
+        for op in &ops {
+            match op {
+                BatchOp::Enqueue(value) => {
+                    if spec.len() < 1_024 {
+                        queue.enqueue(*value).unwrap();
+                        spec.enqueue(*value);
+                    }
+                }
+                BatchOp::Dequeue => {
+                    prop_assert_eq!(queue.dequeue(), spec.dequeue());
+                }
+                BatchOp::EnqueueBatch(values) => {
+                    if spec.len() + values.len() < 1_024 {
+                        queue.enqueue_batch(values).unwrap();
+                        for &v in values {
+                            spec.enqueue(v);
+                        }
+                    }
+                }
+                BatchOp::DequeueBatch(max) => {
+                    out.clear();
+                    let taken = queue.dequeue_batch(&mut out, *max);
+                    prop_assert_eq!(taken, out.len());
+                    prop_assert!(taken <= *max);
+                    // Single-threaded, a batch dequeue must drain
+                    // min(max, len) values in spec order.
+                    prop_assert_eq!(taken, (*max).min(spec.len()));
+                    for &got in &out {
+                        prop_assert_eq!(Some(got), spec.dequeue());
+                    }
+                }
+            }
+        }
+        loop {
+            let (got, want) = (queue.dequeue(), spec.dequeue());
+            prop_assert_eq!(got, want);
+            if want.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// The heap `SegQueue` batch API against the same model, with 4-slot
+    /// segments so batches constantly splice whole chains.
+    #[test]
+    fn heap_seg_batch_ops_match_model(ops in prop::collection::vec(batch_op_strategy(), 0..200)) {
+        use ms_queues::{SegConfig, SegQueue};
+        let queue: SegQueue<u64> = SegQueue::with_config(SegConfig {
+            seg_size: 4,
+            ..SegConfig::DEFAULT
+        });
+        let mut spec = SequentialQueue::new();
+        let mut out = Vec::new();
+        for op in &ops {
+            match op {
+                BatchOp::Enqueue(value) => {
+                    queue.enqueue(*value);
+                    spec.enqueue(*value);
+                }
+                BatchOp::Dequeue => {
+                    prop_assert_eq!(queue.dequeue(), spec.dequeue());
+                }
+                BatchOp::EnqueueBatch(values) => {
+                    queue.enqueue_batch(values);
+                    for &v in values {
+                        spec.enqueue(v);
+                    }
+                }
+                BatchOp::DequeueBatch(max) => {
+                    out.clear();
+                    let taken = queue.dequeue_batch(&mut out, *max);
+                    prop_assert_eq!(taken, out.len());
+                    prop_assert_eq!(taken, (*max).min(spec.len()));
+                    for &got in &out {
+                        prop_assert_eq!(Some(got), spec.dequeue());
+                    }
+                }
+            }
+        }
+        loop {
+            let (got, want) = (queue.dequeue(), spec.dequeue());
+            prop_assert_eq!(got, want);
+            if want.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// `BatchFull` contract: a failed bulk enqueue has pushed exactly the
+    /// reported prefix, in order, and the untouched suffix is retriable —
+    /// for any batch size against any (tiny) queue capacity.
+    #[test]
+    fn batch_full_prefix_is_exact_and_suffix_retries(
+        capacity in 1u32..24,
+        total in 1usize..300,
+    ) {
+        use ms_queues::{BackoffConfig, WordSegQueue};
+        let platform = NativePlatform::new();
+        let queue =
+            WordSegQueue::with_seg_size_and_backoff(&platform, capacity, 4, BackoffConfig::DEFAULT);
+        let values: Vec<u64> = (0..total as u64).collect();
+        let mut sent = 0usize;
+        let mut received = Vec::with_capacity(total);
+        let mut rest: &[u64] = &values;
+        loop {
+            match queue.enqueue_batch(rest) {
+                Ok(()) => break,
+                Err(e) => {
+                    sent += e.pushed;
+                    rest = &rest[e.pushed..];
+                    prop_assert!(!rest.is_empty(), "Err with nothing left to push");
+                    // Drain what made it in; the prefix must be exact.
+                    while let Some(v) = queue.dequeue() {
+                        received.push(v);
+                    }
+                    prop_assert_eq!(received.len(), sent);
+                }
+            }
+        }
+        while let Some(v) = queue.dequeue() {
+            received.push(v);
+        }
+        prop_assert_eq!(received, values);
+    }
+}
+
 /// The segment-boundary race: with 2-slot segments, every other operation
 /// crosses a boundary, so enqueuers racing the append CAS and dequeuers
 /// racing the unlink CAS constantly interleave with slot claims. FIFO per
