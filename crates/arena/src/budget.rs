@@ -1,0 +1,362 @@
+//! [`MemBudget`]: a process-global, lock-free memory budget for segments.
+//!
+//! The paper's free-list bounds each queue's memory by construction: nodes
+//! are preallocated and recycled, so one queue can never grow without
+//! bound. That bound is *per queue*, though — a process running many
+//! `SegQueue`s (the sharded front-end alone owns N of them) has unbounded
+//! aggregate segment churn. `MemBudget` restores a global bound in the
+//! spirit of the memory-optimal non-blocking queues of Aksenov et al.:
+//! every segment a queue brings into existence must first **reserve** a
+//! unit against a fixed budget, and the unit is **released only when the
+//! segment is provably unreachable** (actually freed, not merely pooled).
+//!
+//! The accounting discipline ("credit-after-unreachability") is what makes
+//! the bound sound: a drained segment sitting in a reuse pool is still
+//! resident memory, and a segment retired to the hazard domain may still
+//! be reachable through a stale traversal, so neither may credit the
+//! budget. Only the point where a segment's storage genuinely returns to
+//! the allocator — or, for arena-backed queues, to the arena free list,
+//! which the tagged-generation protocol makes unreachable-by-construction
+//! — runs [`MemBudget::release`].
+//!
+//! The counters are plain [`AtomicWord`] cells allocated from a
+//! [`Platform`], so the same type meters native queues and queues running
+//! inside the `msq-sim` deterministic simulator (where every reserve and
+//! release is charged in the coherence cost model like any other shared
+//! word).
+//!
+//! When the budget is exhausted, allocators escalate rather than grow:
+//! flush deferred hazard retirements, shrink reuse pools via registered
+//! [reclaimers](MemBudget::register_reclaimer), and finally report
+//! backpressure (`QueueFull`/`BatchFull`) instead of allocating past the
+//! limit.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use msq_platform::{AtomicWord, NativePlatform, Platform};
+
+/// A reclaimer callback: attempts to free budgeted memory (e.g. by
+/// draining a segment pool) and returns how many units it released.
+pub type Reclaimer = Box<dyn Fn() -> u64 + Send + Sync>;
+
+/// A shared budget metering segment residency across any number of queues.
+///
+/// `limit` is in abstract *units* — the queues in this repository use one
+/// unit per segment. [`u64::MAX`] means unlimited (metering only).
+///
+/// # Example
+///
+/// ```
+/// use msq_arena::MemBudget;
+/// use msq_platform::NativePlatform;
+///
+/// let budget = MemBudget::new(&NativePlatform::new(), 2);
+/// assert!(budget.try_reserve(1));
+/// assert!(budget.try_reserve(1));
+/// assert!(!budget.try_reserve(1), "third segment exceeds the budget");
+/// budget.release(1);
+/// assert!(budget.try_reserve(1), "released units can be re-reserved");
+/// assert_eq!(budget.peak(), 2);
+/// ```
+pub struct MemBudget<P: Platform> {
+    /// Hard cap on concurrently reserved units. Immutable after creation.
+    limit: u64,
+    /// Currently reserved units.
+    reserved: P::Cell,
+    /// High-water mark of `reserved`.
+    peak: P::Cell,
+    /// Failed [`MemBudget::try_reserve`] calls (backpressure events).
+    denials: P::Cell,
+    /// [`MemBudget::force_reserve`] calls that pushed `reserved` past the
+    /// limit (infallible paths that could not take backpressure).
+    overruns: P::Cell,
+    /// Registered pool-shrink callbacks, keyed by registration slot.
+    reclaimers: Mutex<Vec<Option<Reclaimer>>>,
+}
+
+impl<P: Platform> MemBudget<P> {
+    /// Creates a budget of `limit` units on `platform`.
+    pub fn new(platform: &P, limit: u64) -> Self {
+        MemBudget {
+            limit,
+            reserved: platform.alloc_cell(0),
+            peak: platform.alloc_cell(0),
+            denials: platform.alloc_cell(0),
+            overruns: platform.alloc_cell(0),
+            reclaimers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Creates an unlimited budget (metering only: every reserve
+    /// succeeds, peak/reserved are still tracked).
+    pub fn unlimited(platform: &P) -> Self {
+        MemBudget::new(platform, u64::MAX)
+    }
+
+    /// The configured limit in units ([`u64::MAX`] = unlimited).
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Units currently reserved.
+    pub fn reserved(&self) -> u64 {
+        self.reserved.load()
+    }
+
+    /// High-water mark of concurrently reserved units.
+    pub fn peak(&self) -> u64 {
+        self.peak.load()
+    }
+
+    /// Number of denied [`MemBudget::try_reserve`] calls so far.
+    pub fn denials(&self) -> u64 {
+        self.denials.load()
+    }
+
+    /// Number of [`MemBudget::force_reserve`] calls that overran the
+    /// limit.
+    pub fn overruns(&self) -> u64 {
+        self.overruns.load()
+    }
+
+    /// Attempts to reserve `n` units. Lock-free.
+    ///
+    /// Returns `false` (and counts a denial) if the reservation would push
+    /// `reserved` past the limit; the caller must not allocate.
+    pub fn try_reserve(&self, n: u64) -> bool {
+        loop {
+            let current = self.reserved.load();
+            let next = match current.checked_add(n) {
+                Some(next) if next <= self.limit => next,
+                _ => {
+                    self.denials.fetch_add(1);
+                    return false;
+                }
+            };
+            if self.reserved.cas(current, next) {
+                self.note_peak(next);
+                return true;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Reserves `n` units unconditionally. Lock-free.
+    ///
+    /// Used by infallible paths (constructors, `enqueue` without a `try_`
+    /// variant) that cannot report backpressure: the reservation always
+    /// succeeds, but pushing past the limit is counted as an overrun so
+    /// the violation is observable.
+    pub fn force_reserve(&self, n: u64) {
+        let next = self.reserved.fetch_add(n).wrapping_add(n);
+        if next > self.limit {
+            self.overruns.fetch_add(1);
+        }
+        self.note_peak(next);
+    }
+
+    /// Returns `n` units to the budget. Lock-free.
+    ///
+    /// Call this only once the backing memory is provably unreachable
+    /// (truly freed, or returned to a generation-tagged arena free list) —
+    /// never for segments merely parked in a reuse pool.
+    pub fn release(&self, n: u64) {
+        let prev = self.reserved.fetch_sub(n);
+        debug_assert!(prev >= n, "budget release underflow: {prev} - {n}");
+    }
+
+    /// Registers a reclaimer to be invoked by [`MemBudget::reclaim`] when
+    /// the budget runs dry (typically: drain a queue's segment pool).
+    /// Returns a token for [`MemBudget::unregister_reclaimer`].
+    pub fn register_reclaimer(&self, f: Reclaimer) -> usize {
+        let mut slots = self.reclaimers.lock().unwrap();
+        if let Some(id) = slots.iter().position(Option::is_none) {
+            slots[id] = Some(f);
+            id
+        } else {
+            slots.push(Some(f));
+            slots.len() - 1
+        }
+    }
+
+    /// Removes a previously registered reclaimer. Idempotent.
+    pub fn unregister_reclaimer(&self, id: usize) {
+        let mut slots = self.reclaimers.lock().unwrap();
+        if let Some(slot) = slots.get_mut(id) {
+            *slot = None;
+        }
+    }
+
+    /// Applies cross-queue reclaim pressure: runs every registered
+    /// reclaimer and returns the total units they released. Called by
+    /// allocators after their local options (own pool, eager hazard scan)
+    /// are exhausted, before giving up and reporting backpressure.
+    pub fn reclaim(&self) -> u64 {
+        let slots = self.reclaimers.lock().unwrap();
+        slots.iter().flatten().map(|f| f()).sum()
+    }
+
+    /// CAS-max loop raising the peak watermark to at least `candidate`.
+    fn note_peak(&self, candidate: u64) {
+        loop {
+            let seen = self.peak.load();
+            if candidate <= seen || self.peak.cas(seen, candidate) {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl MemBudget<NativePlatform> {
+    /// The process-global native budget.
+    ///
+    /// Its limit comes from the `MSQ_MEM_BUDGET` environment variable
+    /// (a segment count, read once on first use); unset or unparsable
+    /// means unlimited, so existing code is metered but never denied.
+    /// Heap-allocating queues attach this budget by default.
+    pub fn global() -> &'static Arc<MemBudget<NativePlatform>> {
+        static GLOBAL: OnceLock<Arc<MemBudget<NativePlatform>>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let limit = std::env::var("MSQ_MEM_BUDGET")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or(u64::MAX);
+            Arc::new(MemBudget::new(&NativePlatform::new(), limit))
+        })
+    }
+}
+
+impl<P: Platform> std::fmt::Debug for MemBudget<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemBudget")
+            .field("limit", &self.limit)
+            .field("reserved", &self.reserved())
+            .field("peak", &self.peak())
+            .field("denials", &self.denials())
+            .field("overruns", &self.overruns())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn budget(limit: u64) -> MemBudget<NativePlatform> {
+        MemBudget::new(&NativePlatform::new(), limit)
+    }
+
+    #[test]
+    fn reserve_release_tracks_watermarks() {
+        let b = budget(4);
+        assert!(b.try_reserve(3));
+        assert_eq!(b.reserved(), 3);
+        assert_eq!(b.peak(), 3);
+        b.release(2);
+        assert_eq!(b.reserved(), 1);
+        assert_eq!(b.peak(), 3, "peak is a high-water mark");
+        assert!(b.try_reserve(3));
+        assert_eq!(b.peak(), 4);
+    }
+
+    #[test]
+    fn denial_leaves_reservation_untouched() {
+        let b = budget(2);
+        assert!(b.try_reserve(2));
+        assert!(!b.try_reserve(1));
+        assert_eq!(b.reserved(), 2);
+        assert_eq!(b.denials(), 1);
+        b.release(1);
+        assert!(b.try_reserve(1));
+    }
+
+    #[test]
+    fn unlimited_never_denies_even_near_overflow() {
+        let b = MemBudget::unlimited(&NativePlatform::new());
+        assert!(b.try_reserve(u64::MAX - 1));
+        // A checked_add overflow must deny rather than wrap.
+        assert!(!b.try_reserve(2));
+        assert_eq!(b.denials(), 1);
+    }
+
+    #[test]
+    fn force_reserve_counts_overruns() {
+        let b = budget(1);
+        b.force_reserve(1);
+        assert_eq!(b.overruns(), 0);
+        b.force_reserve(1);
+        assert_eq!(b.overruns(), 1);
+        assert_eq!(b.reserved(), 2);
+        assert_eq!(b.peak(), 2);
+    }
+
+    #[test]
+    fn reclaimers_run_and_unregister() {
+        let b = budget(1);
+        let calls = Arc::new(AtomicU64::new(0));
+        let id = b.register_reclaimer({
+            let calls = Arc::clone(&calls);
+            Box::new(move || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                3
+            })
+        });
+        let id2 = b.register_reclaimer(Box::new(|| 0));
+        assert_ne!(id, id2);
+        assert_eq!(b.reclaim(), 3);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        b.unregister_reclaimer(id);
+        assert_eq!(b.reclaim(), 0);
+        // Slot reuse after unregistration.
+        assert_eq!(b.register_reclaimer(Box::new(|| 0)), id);
+    }
+
+    #[test]
+    fn concurrent_reservation_never_exceeds_limit() {
+        let b = Arc::new(budget(8));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    if b.try_reserve(1) {
+                        assert!(b.reserved() <= 8);
+                        b.release(1);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.reserved(), 0);
+        assert!(b.peak() <= 8);
+    }
+
+    #[test]
+    fn works_inside_the_simulator() {
+        use msq_sim::{SimConfig, Simulation};
+        let sim = Simulation::new(SimConfig {
+            processors: 4,
+            ..SimConfig::default()
+        });
+        let b = Arc::new(MemBudget::new(&sim.platform(), 2));
+        let report = sim.run({
+            let b = Arc::clone(&b);
+            move |_| {
+                for _ in 0..100 {
+                    if b.try_reserve(1) {
+                        assert!(b.reserved() <= 2);
+                        b.release(1);
+                    }
+                }
+            }
+        });
+        assert!(report.total_ops > 0);
+        assert_eq!(b.reserved(), 0);
+        assert!(b.peak() <= 2);
+        assert!(b.peak() >= 1);
+    }
+}

@@ -20,13 +20,20 @@
 //! [`SegArena`] generalizes the node pool to whole array *segments* with
 //! per-generation tags on every mutable word, backing the segment-batched
 //! queue variant in `msq-core`.
+//!
+//! [`MemBudget`] bounds segment residency *globally*: a lock-free budget
+//! every allocator reserves against before bringing a segment into
+//! existence, crediting units back only once the segment is provably
+//! unreachable.
 
 #![warn(missing_docs)]
 
 mod arena;
+mod budget;
 mod seg;
 mod valois;
 
 pub use arena::NodeArena;
+pub use budget::{MemBudget, Reclaimer};
 pub use seg::SegArena;
 pub use valois::RcArena;

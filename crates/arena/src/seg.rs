@@ -29,7 +29,11 @@
 //! guarantees a value store only happens between a generation-checked
 //! claim CAS and the matching publication store.
 
+use std::sync::Arc;
+
 use msq_platform::{AtomicWord, Platform, Tagged, NULL_INDEX};
+
+use crate::MemBudget;
 
 /// A fixed pool of array segments shared by one concurrent queue.
 ///
@@ -67,6 +71,12 @@ pub struct SegArena<P: Platform> {
     free_top: P::Cell,
     seg_count: u32,
     seg_size: u32,
+    /// Optional global residency budget: one unit per segment currently
+    /// *out* of the free list. Reserved before a pop, released after a
+    /// push-back (the free list's tagged generations make a pushed
+    /// segment unreachable-by-construction, so crediting there respects
+    /// the credit-after-unreachability rule).
+    budget: Option<Arc<MemBudget<P>>>,
 }
 
 impl<P: Platform> SegArena<P> {
@@ -78,6 +88,29 @@ impl<P: Platform> SegArena<P> {
     /// Panics if either dimension is 0 or `seg_count` does not fit a
     /// tagged index.
     pub fn new(platform: &P, seg_count: u32, seg_size: u32) -> Self {
+        SegArena::build(platform, seg_count, seg_size, None)
+    }
+
+    /// Like [`SegArena::new`], but every [`SegArena::alloc`] reserves one
+    /// unit against `budget` (and every [`SegArena::free`] credits it
+    /// back), so segment residency across all arenas sharing the budget
+    /// is globally bounded. An exhausted budget makes `alloc` return
+    /// `None` exactly as an exhausted free list does.
+    pub fn with_budget(
+        platform: &P,
+        seg_count: u32,
+        seg_size: u32,
+        budget: Arc<MemBudget<P>>,
+    ) -> Self {
+        SegArena::build(platform, seg_count, seg_size, Some(budget))
+    }
+
+    fn build(
+        platform: &P,
+        seg_count: u32,
+        seg_size: u32,
+        budget: Option<Arc<MemBudget<P>>>,
+    ) -> Self {
         assert!(seg_count > 0, "arena needs at least one segment");
         assert!(seg_size > 0, "segments need at least one slot");
         assert!(
@@ -118,7 +151,13 @@ impl<P: Platform> SegArena<P> {
             free_top,
             seg_count,
             seg_size,
+            budget,
         }
+    }
+
+    /// The budget this arena reserves against, if any.
+    pub fn budget(&self) -> Option<&Arc<MemBudget<P>>> {
+        self.budget.as_ref()
     }
 
     /// Number of segments in the pool.
@@ -139,6 +178,22 @@ impl<P: Platform> SegArena<P> {
     /// `next` word holds a stale free-list link that callers must point at
     /// `NULL_INDEX` (via [`SegArena::set_next`]) before publishing.
     pub fn alloc(&self) -> Option<u32> {
+        if let Some(budget) = &self.budget {
+            if !budget.try_reserve(1) {
+                return None;
+            }
+        }
+        let popped = self.pop_free();
+        if popped.is_none() {
+            if let Some(budget) = &self.budget {
+                budget.release(1);
+            }
+        }
+        popped
+    }
+
+    /// The Treiber pop itself, budget aside.
+    fn pop_free(&self) -> Option<u32> {
         loop {
             let top = Tagged::from_raw(self.free_top.load());
             if top.is_null() {
@@ -182,9 +237,15 @@ impl<P: Platform> SegArena<P> {
             let top = Tagged::from_raw(self.free_top.load());
             self.set_next(seg, top.index());
             if self.free_top.cas(top.raw(), top.with_index(seg).raw()) {
-                return;
+                break;
             }
             std::hint::spin_loop();
+        }
+        // The push is the unreachability point: any stale CAS on the
+        // segment is doomed by the generation bump above, so the unit may
+        // be credited back to the shared budget.
+        if let Some(budget) = &self.budget {
+            budget.release(1);
         }
     }
 
@@ -377,6 +438,55 @@ mod tests {
             assert!(seen.insert(s), "segment {s} on free list twice");
         }
         assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn budget_caps_alloc_below_free_list_capacity() {
+        let platform = NativePlatform::new();
+        let budget = Arc::new(crate::MemBudget::new(&platform, 2));
+        let a = SegArena::with_budget(&platform, 8, 4, Arc::clone(&budget));
+        let s0 = a.alloc().expect("within budget");
+        let s1 = a.alloc().expect("within budget");
+        assert_eq!(a.alloc(), None, "budget of 2 denies a third segment");
+        assert_eq!(budget.denials(), 1);
+        assert_eq!(budget.reserved(), 2);
+        a.free(s0);
+        assert_eq!(budget.reserved(), 1, "free credits the budget");
+        assert_eq!(a.alloc(), Some(s0), "credit makes room again");
+        a.free(s1);
+        assert_eq!(budget.peak(), 2);
+    }
+
+    #[test]
+    fn budget_is_shared_across_arenas() {
+        let platform = NativePlatform::new();
+        let budget = Arc::new(crate::MemBudget::new(&platform, 3));
+        let a = SegArena::with_budget(&platform, 4, 2, Arc::clone(&budget));
+        let b = SegArena::with_budget(&platform, 4, 2, Arc::clone(&budget));
+        assert!(a.alloc().is_some());
+        assert!(b.alloc().is_some());
+        let last = a.alloc().unwrap();
+        assert_eq!(b.alloc(), None, "sibling arena exhausts the shared cap");
+        a.free(last);
+        assert!(
+            b.alloc().is_some(),
+            "credit from one arena unblocks another"
+        );
+    }
+
+    #[test]
+    fn exhausted_free_list_refunds_its_reservation() {
+        let platform = NativePlatform::new();
+        let budget = Arc::new(crate::MemBudget::new(&platform, 10));
+        let a = SegArena::with_budget(&platform, 2, 2, Arc::clone(&budget));
+        let _s0 = a.alloc().unwrap();
+        let _s1 = a.alloc().unwrap();
+        assert_eq!(a.alloc(), None, "free list empty");
+        assert_eq!(
+            budget.reserved(),
+            2,
+            "the failed alloc must not leak its reservation"
+        );
     }
 
     #[test]

@@ -151,6 +151,7 @@ fn other_work_sensitivity(c: &mut Criterion) {
                     pairs_total: 200,
                     other_work_ns,
                     capacity: 1_024,
+                    mem_budget: None,
                 };
                 let report = sim.run({
                     let queue = Arc::clone(&queue);

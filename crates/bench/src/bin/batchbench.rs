@@ -181,6 +181,7 @@ fn main() {
         pairs_total: workload_pairs,
         other_work_ns: 0, // maximum contention: queue traffic only
         capacity: 4_096,
+        mem_budget: None,
     };
     let workload_contenders = [
         Algorithm::Sharded,
@@ -208,6 +209,31 @@ fn main() {
     }
     let sharded_speedup = workload_cells[1].elapsed_ns as f64 / workload_cells[0].elapsed_ns as f64;
     eprintln!("sharded speedup over seg-batched at 8p: {sharded_speedup:.2}x");
+
+    // --- Cell 2b: batch-mode workload swept across processor counts, the
+    // batch-aware analogue of the paper's Figure 3 x-axis. ---
+    let sweep_processors: &[usize] = if smoke { &[2, 4] } else { &[1, 2, 4, 6, 8, 12] };
+    let mut sweep_cells = Vec::new();
+    for &processors in sweep_processors {
+        for algorithm in workload_contenders {
+            let point = run_simulated_batched(
+                algorithm,
+                SimConfig {
+                    processors,
+                    ..SimConfig::default()
+                },
+                &workload,
+                HEADLINE_BATCH,
+            );
+            eprintln!(
+                "sim {}p batch-{HEADLINE_BATCH} sweep {:<16} {} virtual ns",
+                processors,
+                algorithm.label(),
+                point.elapsed_ns
+            );
+            sweep_cells.push(point);
+        }
+    }
 
     // --- Cell 3: native single-thread pairs/sec across batch sizes. ---
     let mut native_cells = Vec::new();
@@ -269,6 +295,21 @@ fn main() {
         json,
         "  \"sharded_speedup_over_seg_batched_8p\": {sharded_speedup:.2},"
     );
+    json.push_str("  \"sim_batch_workload_sweep\": [\n");
+    for (i, point) in sweep_cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"algorithm\": \"{}\", \"processors\": {}, \"elapsed_virtual_ns\": {}, \"net_virtual_ns\": {}, \"cas_failures\": {}, \"miss_rate\": {:.4}}}{}",
+            point.algorithm.label(),
+            point.processors,
+            point.elapsed_ns,
+            point.net_ns,
+            point.cas_failures,
+            point.miss_rate,
+            if i + 1 == sweep_cells.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"native_single_thread\": [\n");
     for (i, (algorithm, batch, pps)) in native_cells.iter().enumerate() {
         let _ = writeln!(

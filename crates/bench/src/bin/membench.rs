@@ -1,0 +1,239 @@
+//! Memory-budget acceptance numbers for the global reclamation bound →
+//! `BENCH_mem.json`.
+//!
+//! Three cells:
+//!
+//! 1. **Budgeted vs unbudgeted batch-mode workload** for `seg-batched` at
+//!    4 and 8 simulated processors (batch 32, the paper's ~6 µs "other
+//!    work" per operation): the budgeted run must keep peak resident
+//!    segments at or under the budget while staying within ~10% of the
+//!    unbudgeted virtual time — a generous budget only meters, it never
+//!    denies. Metering costs one extra coherence transaction per segment
+//!    transition (a CAS on the shared `reserved` word), so it amortizes
+//!    over the paper's workload; a zero-other-work microbench would
+//!    instead measure that word's ping-pong (see `batchbench` for the
+//!    max-contention regime).
+//! 2. **Sharded under the same budget** at 8 processors: all shards
+//!    reserve against one budget, so the bound is process-global, not
+//!    per-queue.
+//! 3. **Tiny-budget denial/recovery**: a queue on a 4-segment budget is
+//!    driven into exhaustion (`QueueFull` backpressure, denials counted),
+//!    drained, and must accept values again — the bound is enforced *and*
+//!    recoverable, with no values lost.
+//!
+//! Run from the workspace root: `cargo run --release -p msq-bench --bin
+//! membench`. Writes `BENCH_mem.json` in the current directory. Pass
+//! `--smoke` for a scaled-down CI sanity run (same cells, same JSON
+//! shape) and `--mem-budget N` to override the headline budget.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use msq_arena::MemBudget;
+use msq_core::WordSegQueue;
+use msq_harness::{run_simulated_batched, Algorithm, MeasuredPoint, WorkloadConfig};
+use msq_platform::{ConcurrentWordQueue, QueueFull};
+use msq_sim::{SimConfig, Simulation};
+
+/// Pairs moved by the simulated batch-mode workload cells.
+const SIM_WORKLOAD_PAIRS: u64 = 1_600;
+const SMOKE_SIM_WORKLOAD_PAIRS: u64 = 320;
+
+/// Batch size the acceptance comparison uses (matches `batchbench`).
+const HEADLINE_BATCH: usize = 32;
+
+/// Headline segment budget: generous enough that a well-behaved workload
+/// never gets denied (the acceptance criterion is metering overhead, not
+/// starvation behaviour — cell 3 covers starvation).
+const DEFAULT_BUDGET: u64 = 48;
+
+/// Budget for the denial/recovery cell, in segments.
+const TINY_BUDGET: u64 = 4;
+
+fn workload_cell(
+    algorithm: Algorithm,
+    processors: usize,
+    pairs: u64,
+    mem_budget: Option<u64>,
+) -> MeasuredPoint {
+    run_simulated_batched(
+        algorithm,
+        SimConfig {
+            processors,
+            ..SimConfig::default()
+        },
+        &WorkloadConfig {
+            pairs_total: pairs,
+            other_work_ns: 6_000, // the paper's Section 4 workload
+            capacity: 4_096,
+            mem_budget,
+        },
+        HEADLINE_BATCH,
+    )
+}
+
+struct TinyCell {
+    accepted_before_full: u64,
+    denials: u64,
+    peak_resident_segments: u64,
+    recovered: bool,
+}
+
+/// Drives one simulated process into budget exhaustion and back out.
+fn tiny_budget_cell() -> TinyCell {
+    let sim = Simulation::new(SimConfig {
+        processors: 2,
+        ..SimConfig::default()
+    });
+    let platform = sim.platform();
+    let budget = Arc::new(MemBudget::new(&platform, TINY_BUDGET));
+    let queue = Arc::new(WordSegQueue::with_capacity_and_budget(
+        &platform,
+        4_096,
+        Arc::clone(&budget),
+    ));
+    let accepted = Arc::new(AtomicU64::new(0));
+    let recovered = Arc::new(AtomicBool::new(false));
+    sim.run({
+        let queue = Arc::clone(&queue);
+        let accepted = Arc::clone(&accepted);
+        let recovered = Arc::clone(&recovered);
+        move |info| {
+            if info.pid != 0 {
+                return;
+            }
+            let mut sent = 0u64;
+            loop {
+                match queue.enqueue(sent) {
+                    Ok(()) => sent += 1,
+                    Err(QueueFull(v)) => {
+                        assert_eq!(v, sent, "the rejected value must come back intact");
+                        break;
+                    }
+                }
+            }
+            accepted.store(sent, Ordering::Relaxed);
+            for i in 0..sent {
+                assert_eq!(queue.dequeue(), Some(i), "no value may be lost");
+            }
+            recovered.store(queue.enqueue(u64::MAX).is_ok(), Ordering::Relaxed);
+            queue.dequeue();
+        }
+    });
+    TinyCell {
+        accepted_before_full: accepted.load(Ordering::Relaxed),
+        denials: budget.denials(),
+        peak_resident_segments: budget.peak(),
+        recovered: recovered.load(Ordering::Relaxed),
+    }
+}
+
+fn json_opt(value: Option<u64>) -> String {
+    value.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let budget = args
+        .iter()
+        .position(|a| a == "--mem-budget")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--mem-budget takes a segment count")
+        })
+        .unwrap_or(DEFAULT_BUDGET);
+    let pairs = if smoke {
+        SMOKE_SIM_WORKLOAD_PAIRS
+    } else {
+        SIM_WORKLOAD_PAIRS
+    };
+
+    // --- Cells 1 & 2: budgeted vs unbudgeted workload. ---
+    let mut cells = Vec::new();
+    for (algorithm, processors) in [
+        (Algorithm::SegBatched, 4usize),
+        (Algorithm::SegBatched, 8),
+        (Algorithm::Sharded, 8),
+    ] {
+        let unbudgeted = workload_cell(algorithm, processors, pairs, None);
+        let budgeted = workload_cell(algorithm, processors, pairs, Some(budget));
+        let ratio = budgeted.elapsed_ns as f64 / unbudgeted.elapsed_ns as f64;
+        let peak = budgeted.peak_resident_segments.unwrap_or(0);
+        eprintln!(
+            "sim {}p batch-{HEADLINE_BATCH} {:<12} budget {budget}: peak {peak} segs, \
+             {} denials, time ratio {ratio:.3} ({} -> {} virtual ns)",
+            processors,
+            algorithm.label(),
+            budgeted.budget_denials.unwrap_or(0),
+            unbudgeted.elapsed_ns,
+            budgeted.elapsed_ns
+        );
+        cells.push((unbudgeted, budgeted, ratio));
+    }
+
+    // --- Cell 3: tiny-budget denial and recovery. ---
+    let tiny = tiny_budget_cell();
+    eprintln!(
+        "tiny budget {TINY_BUDGET}: {} accepted before QueueFull, {} denials, peak {} segs, \
+         recovered: {}",
+        tiny.accepted_before_full, tiny.denials, tiny.peak_resident_segments, tiny.recovered
+    );
+
+    // --- Acceptance summary. ---
+    let peak_ok = cells
+        .iter()
+        .all(|(_, b, _)| b.peak_resident_segments.unwrap_or(u64::MAX) <= budget);
+    // The ≤10% overhead criterion is for the full-size run; at smoke
+    // scale fixed startup costs dominate the few hundred pairs, so the
+    // smoke bound only guards against gross regressions.
+    let time_bound = if smoke { 1.25 } else { 1.10 };
+    let time_ok = cells.iter().all(|(_, _, r)| *r <= time_bound);
+    let tiny_ok = tiny.denials > 0 && tiny.peak_resident_segments <= TINY_BUDGET && tiny.recovered;
+    eprintln!(
+        "acceptance: peak_within_budget={peak_ok} time_within_bound({time_bound})={time_ok} \
+         tiny_budget_enforced_and_recovered={tiny_ok}"
+    );
+
+    // --- JSON report. ---
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"global segment-residency budget: budgeted vs unbudgeted batch workload (peak resident segments, virtual-time ratio), plus tiny-budget denial/recovery\","
+    );
+    let _ = writeln!(json, "  \"workload_pairs\": {pairs},");
+    let _ = writeln!(json, "  \"headline_batch\": {HEADLINE_BATCH},");
+    let _ = writeln!(json, "  \"mem_budget\": {budget},");
+    json.push_str("  \"budgeted_workload\": [\n");
+    for (i, (unbudgeted, budgeted, ratio)) in cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"algorithm\": \"{}\", \"processors\": {}, \"unbudgeted_elapsed_virtual_ns\": {}, \"budgeted_elapsed_virtual_ns\": {}, \"time_ratio\": {:.4}, \"peak_resident_segments\": {}, \"budget_denials\": {}, \"miss_rate\": {:.4}}}{}",
+            budgeted.algorithm.label(),
+            budgeted.processors,
+            unbudgeted.elapsed_ns,
+            budgeted.elapsed_ns,
+            ratio,
+            json_opt(budgeted.peak_resident_segments),
+            json_opt(budgeted.budget_denials),
+            budgeted.miss_rate,
+            if i + 1 == cells.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"tiny_budget\": {{\"budget\": {TINY_BUDGET}, \"accepted_before_full\": {}, \"denials\": {}, \"peak_resident_segments\": {}, \"recovered\": {}}},",
+        tiny.accepted_before_full, tiny.denials, tiny.peak_resident_segments, tiny.recovered
+    );
+    let _ = writeln!(
+        json,
+        "  \"acceptance\": {{\"peak_within_budget\": {peak_ok}, \"time_ratio_bound\": {time_bound}, \"time_within_bound\": {time_ok}, \"tiny_budget_enforced_and_recovered\": {tiny_ok}}}"
+    );
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_mem.json", &json).expect("write BENCH_mem.json");
+    println!("{json}");
+}

@@ -30,6 +30,7 @@ pub fn bench_workload() -> WorkloadConfig {
         pairs_total: 500,
         other_work_ns: 6_000,
         capacity: 1_024,
+        mem_budget: None,
     }
 }
 

@@ -37,8 +37,9 @@ use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 
 use crossbeam_utils::CachePadded;
+use msq_arena::MemBudget;
 use msq_hazard::{PooledHazard, GLOBAL_DOMAIN};
-use msq_platform::{Backoff, BackoffConfig, NativePlatform};
+use msq_platform::{Backoff, BackoffConfig, BatchFull, NativePlatform};
 
 use crate::stack::LockFreeStack;
 
@@ -112,10 +113,23 @@ struct Segment<T> {
     /// domain's deleter can recycle a retired segment instead of freeing
     /// it. `Weak`: the domain may outlive the queue.
     pool: Weak<SegPool<T>>,
+    /// The budget this segment's one residency unit was reserved against.
+    /// Credited back in `Drop` — the only place a segment's storage truly
+    /// returns to the allocator, which is exactly the
+    /// credit-after-unreachability rule (pooled and hazard-retired
+    /// segments are still resident, so they stay reserved).
+    budget: Arc<MemBudget<NativePlatform>>,
 }
 
 impl<T> Segment<T> {
-    fn new(seg_size: usize, pool: Weak<SegPool<T>>) -> Box<Segment<T>> {
+    /// Builds a segment. The caller must already have reserved one unit
+    /// against `budget` (via `try_reserve` or `force_reserve`); `Drop`
+    /// releases it.
+    fn new(
+        seg_size: usize,
+        pool: Weak<SegPool<T>>,
+        budget: Arc<MemBudget<NativePlatform>>,
+    ) -> Box<Segment<T>> {
         let slots = (0..seg_size)
             .map(|_| Slot {
                 state: AtomicU8::new(EMPTY),
@@ -128,6 +142,7 @@ impl<T> Segment<T> {
             next: AtomicPtr::new(ptr::null_mut()),
             slots,
             pool,
+            budget,
         })
     }
 
@@ -152,6 +167,8 @@ impl<T> Drop for Segment<T> {
                 unsafe { ptr::drop_in_place((*slot.value.get()).as_mut_ptr()) };
             }
         }
+        // The storage is gone for real: credit the residency unit back.
+        self.budget.release(1);
     }
 }
 
@@ -270,6 +287,10 @@ pub struct SegQueue<T> {
     tail: CachePadded<AtomicPtr<Segment<T>>>,
     pool: Arc<SegPool<T>>,
     config: SegConfig,
+    budget: Arc<MemBudget<NativePlatform>>,
+    /// Registration token of this queue's pool-shrink reclaimer, if one
+    /// was installed (see [`SegQueue::with_config_and_budget`]).
+    reclaimer_id: Option<usize>,
     segs_allocated: AtomicUsize,
     segs_retired: AtomicUsize,
 }
@@ -283,20 +304,35 @@ impl<T> SegQueue<T> {
         SegQueue::with_config(SegConfig::DEFAULT)
     }
 
-    /// Creates an empty queue with explicit tuning.
+    /// Creates an empty queue with explicit tuning, metered against the
+    /// [process-global budget](MemBudget::global).
     ///
     /// # Panics
     ///
     /// Panics if `config.seg_size == 0`.
     pub fn with_config(config: SegConfig) -> Self {
+        SegQueue::build(config, Arc::clone(MemBudget::global()))
+    }
+
+    fn build(config: SegConfig, budget: Arc<MemBudget<NativePlatform>>) -> Self {
         assert!(config.seg_size > 0, "segments need at least one slot");
         let pool = SegPool::new(config.pool_limit);
-        let first = Box::into_raw(Segment::new(config.seg_size, Arc::downgrade(&pool)));
+        // The dummy-analogue first segment is unconditional: a queue
+        // cannot exist without it, so it takes its unit even past the
+        // limit (every queue has a one-segment floor).
+        budget.force_reserve(1);
+        let first = Box::into_raw(Segment::new(
+            config.seg_size,
+            Arc::downgrade(&pool),
+            Arc::clone(&budget),
+        ));
         SegQueue {
             head: CachePadded::new(AtomicPtr::new(first)),
             tail: CachePadded::new(AtomicPtr::new(first)),
             pool,
             config,
+            budget,
+            reclaimer_id: None,
             segs_allocated: AtomicUsize::new(1),
             segs_retired: AtomicUsize::new(0),
         }
@@ -305,6 +341,42 @@ impl<T> SegQueue<T> {
     /// The configuration this queue was built with.
     pub fn config(&self) -> SegConfig {
         self.config
+    }
+
+    /// The memory budget this queue reserves segments against.
+    pub fn budget(&self) -> &Arc<MemBudget<NativePlatform>> {
+        &self.budget
+    }
+
+    /// Creates an empty queue reserving its segments against `budget`,
+    /// and registers a pool-shrink reclaimer with it: when *any* queue on
+    /// the same budget hits the limit, this queue's idle pooled segments
+    /// are freed to make room. The hook is unregistered on drop.
+    ///
+    /// Use [`SegQueue::try_enqueue`] / [`SegQueue::try_enqueue_batch`] to
+    /// observe the budget as backpressure; the infallible paths overrun
+    /// it (counted by [`MemBudget::overruns`]) rather than block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.seg_size == 0`.
+    pub fn with_config_and_budget(config: SegConfig, budget: Arc<MemBudget<NativePlatform>>) -> Self
+    where
+        T: Send + 'static,
+    {
+        let mut queue = SegQueue::build(config, budget);
+        let pool = Arc::downgrade(&queue.pool);
+        let id = queue.budget.register_reclaimer(Box::new(move || {
+            let Some(pool) = pool.upgrade() else { return 0 };
+            let mut freed = 0;
+            while let Some(seg) = pool.take() {
+                drop(seg); // Segment::drop credits the budget
+                freed += 1;
+            }
+            freed
+        }));
+        queue.reclaimer_id = Some(id);
+        queue
     }
 
     /// Segment lifecycle counters (allocated / pooled / retired).
@@ -318,7 +390,27 @@ impl<T> SegQueue<T> {
 
     /// Appends `value` to the tail. Lock-free; the common case is one
     /// `fetch_add` plus one uncontended slot CAS.
-    pub fn enqueue(&self, mut value: T) {
+    ///
+    /// Infallible: if growing requires a segment the budget cannot cover
+    /// (even after reclaim pressure), the reservation is forced and
+    /// counted as an overrun. Use [`SegQueue::try_enqueue`] for
+    /// backpressure instead.
+    pub fn enqueue(&self, value: T) {
+        if self.enqueue_inner(value, false).is_err() {
+            unreachable!("infallible enqueue reported backpressure");
+        }
+    }
+
+    /// Appends `value`, or returns it in `Err` when the tail segment is
+    /// full and the memory budget cannot cover a new segment even after
+    /// cross-queue reclaim pressure (eager hazard-scan flush, then pool
+    /// shrink). No value is lost and nothing blocks: the caller decides
+    /// whether to retry after dequeues free segments.
+    pub fn try_enqueue(&self, value: T) -> Result<(), T> {
+        self.enqueue_inner(value, true)
+    }
+
+    fn enqueue_inner(&self, mut value: T, fallible: bool) -> Result<(), T> {
         let k = self.config.seg_size;
         let mut hazard = PooledHazard::acquire(&GLOBAL_DOMAIN);
         let mut backoff = Backoff::new(self.config.backoff);
@@ -354,7 +446,7 @@ impl<T> SegQueue<T> {
                         if let Some(unused) = spare {
                             self.pool_or_free(unused);
                         }
-                        return;
+                        return Ok(());
                     }
                     Err(_) => {
                         // A dequeuer gave up on us and poisoned the
@@ -383,7 +475,14 @@ impl<T> SegQueue<T> {
 
             // Pre-install our value in slot 0 of a fresh segment, so the
             // append CAS is also the enqueue's linearization point.
-            let fresh = spare.take().unwrap_or_else(|| self.alloc_segment());
+            let fresh = match spare.take() {
+                Some(seg) => seg,
+                None if fallible => match self.try_alloc_segment() {
+                    Some(seg) => seg,
+                    None => return Err(value),
+                },
+                None => self.alloc_segment(),
+            };
             // Safety: `fresh` is unpublished; we own it exclusively.
             unsafe { (*fresh.slots[0].value.get()).write(value) };
             fresh.slots[0].state.store(FULL, Ordering::Relaxed);
@@ -405,7 +504,7 @@ impl<T> SegQueue<T> {
                         Ordering::AcqRel,
                         Ordering::Acquire,
                     );
-                    return;
+                    return Ok(());
                 }
                 Err(_) => {
                     // Another appender won. Reclaim our segment and value.
@@ -549,7 +648,32 @@ impl<T> SegQueue<T> {
     /// the chain carries, so the suffix is observed contiguously and in
     /// order. A batch of `n` values costs O(n / seg_size) contended CASes
     /// instead of O(n).
+    ///
+    /// Infallible: budget-exceeding chain segments are force-reserved
+    /// (counted as overruns). Use [`SegQueue::try_enqueue_batch`] for
+    /// backpressure.
     pub fn enqueue_batch(&self, values: &[T])
+    where
+        T: Clone,
+    {
+        if self.enqueue_batch_inner(values, false).is_err() {
+            unreachable!("infallible enqueue_batch reported backpressure");
+        }
+    }
+
+    /// Like [`SegQueue::enqueue_batch`], but stops growing when the
+    /// memory budget is exhausted (after reclaim pressure): exactly the
+    /// first `pushed` values of `values` were enqueued, and
+    /// `&values[pushed..]` can be retried verbatim after dequeues free
+    /// segments. No value is lost or duplicated.
+    pub fn try_enqueue_batch(&self, values: &[T]) -> Result<(), BatchFull>
+    where
+        T: Clone,
+    {
+        self.enqueue_batch_inner(values, true)
+    }
+
+    fn enqueue_batch_inner(&self, values: &[T], fallible: bool) -> Result<(), BatchFull>
     where
         T: Clone,
     {
@@ -611,11 +735,25 @@ impl<T> SegQueue<T> {
             // Build a privately-owned chain holding the whole remaining
             // suffix. Every chain segment except the last is completely
             // full, preserving the invariant that only a full segment
-            // gains a successor.
+            // gains a successor. On the fallible path an exhausted budget
+            // truncates the chain: whatever prefix fits still splices
+            // (keeping the exact-prefix contract), and a chain that
+            // cannot even start reports `BatchFull`.
             let mut chain: Vec<*mut Segment<T>> = Vec::new();
             let mut filled = 0usize;
+            let mut starved = false;
             while filled < remaining {
-                let seg_box = spares.pop().unwrap_or_else(|| self.alloc_segment());
+                let seg_box = match spares.pop() {
+                    Some(seg) => seg,
+                    None if fallible => match self.try_alloc_segment() {
+                        Some(seg) => seg,
+                        None => {
+                            starved = true;
+                            break;
+                        }
+                    },
+                    None => self.alloc_segment(),
+                };
                 let m = (remaining - filled).min(k);
                 for i in 0..m {
                     // Safety: `seg_box` is unpublished; exclusively ours.
@@ -633,6 +771,15 @@ impl<T> SegQueue<T> {
                 }
                 chain.push(raw);
                 filled += m;
+            }
+            if chain.is_empty() {
+                // Starved before the first chain segment: report the
+                // exact prefix already pushed as backpressure.
+                debug_assert!(starved);
+                for seg_box in spares.drain(..) {
+                    self.pool_or_free(seg_box);
+                }
+                return Err(BatchFull { pushed });
             }
             let chain_head = chain[0];
             let chain_tail = *chain.last().expect("chain is non-empty");
@@ -676,6 +823,7 @@ impl<T> SegQueue<T> {
         for seg_box in spares {
             self.pool_or_free(seg_box);
         }
+        Ok(())
     }
 
     /// Removes up to `max` values from the head, appending them to `out`
@@ -754,12 +902,52 @@ impl<T> SegQueue<T> {
         }
     }
 
-    fn alloc_segment(&self) -> Box<Segment<T>> {
+    /// Produces a segment for growth, or `None` when the memory budget
+    /// is exhausted even after escalating reclaim pressure:
+    ///
+    /// 1. our own pool (already reserved — free of charge);
+    /// 2. a fresh reservation;
+    /// 3. eager hazard-scan flush (surfaces retired-but-unscanned
+    ///    segments into pools or back to the heap), then 1–2 again;
+    /// 4. cross-queue pool shrink via the budget's reclaimers, then 2.
+    fn try_alloc_segment(&self) -> Option<Box<Segment<T>>> {
         if let Some(seg) = self.pool.take() {
+            return Some(seg);
+        }
+        if self.budget.try_reserve(1) {
+            return Some(self.fresh_segment());
+        }
+        GLOBAL_DOMAIN.eager_scan();
+        if let Some(seg) = self.pool.take() {
+            return Some(seg);
+        }
+        if self.budget.try_reserve(1) {
+            return Some(self.fresh_segment());
+        }
+        if self.budget.reclaim() > 0 && self.budget.try_reserve(1) {
+            return Some(self.fresh_segment());
+        }
+        None
+    }
+
+    fn alloc_segment(&self) -> Box<Segment<T>> {
+        if let Some(seg) = self.try_alloc_segment() {
             return seg;
         }
+        // Infallible path past an exhausted budget: overrun rather than
+        // block or lose the value.
+        self.budget.force_reserve(1);
+        self.fresh_segment()
+    }
+
+    /// Heap-allocates a segment. The caller must have reserved its unit.
+    fn fresh_segment(&self) -> Box<Segment<T>> {
         self.segs_allocated.fetch_add(1, Ordering::SeqCst);
-        Segment::new(self.config.seg_size, Arc::downgrade(&self.pool))
+        Segment::new(
+            self.config.seg_size,
+            Arc::downgrade(&self.pool),
+            Arc::clone(&self.budget),
+        )
     }
 
     /// Disposes of a segment we just unlinked from the head: straight back
@@ -818,6 +1006,9 @@ impl<T> std::fmt::Debug for SegQueue<T> {
 
 impl<T> Drop for SegQueue<T> {
     fn drop(&mut self) {
+        if let Some(id) = self.reclaimer_id {
+            self.budget.unregister_reclaimer(id);
+        }
         // Exclusive access: walk the chain dropping unconsumed values.
         let mut seg = *self.head.get_mut();
         while !seg.is_null() {
@@ -1154,6 +1345,139 @@ mod tests {
             }
             last[p] = Some(v);
         }
+    }
+
+    fn tiny_budget(limit: u64) -> Arc<MemBudget<NativePlatform>> {
+        Arc::new(MemBudget::new(&NativePlatform::new(), limit))
+    }
+
+    #[test]
+    fn try_enqueue_hits_backpressure_and_recovers() {
+        let budget = tiny_budget(3);
+        let q: SegQueue<u64> = SegQueue::with_config_and_budget(
+            SegConfig {
+                seg_size: 2,
+                ..SegConfig::DEFAULT
+            },
+            Arc::clone(&budget),
+        );
+        // 3 segments x 2 slots: six values fit, the seventh is denied.
+        let mut accepted = 0;
+        for i in 0..10_u64 {
+            match q.try_enqueue(i) {
+                Ok(()) => accepted += 1,
+                Err(v) => {
+                    assert_eq!(v, i, "the rejected value comes back intact");
+                    break;
+                }
+            }
+        }
+        assert_eq!(accepted, 6);
+        assert!(budget.reserved() <= 3);
+        assert!(budget.denials() > 0);
+        // Draining recycles segments through the pool (still reserved),
+        // so subsequent enqueues reuse them without fresh reservations.
+        for i in 0..6 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        for i in 100..104_u64 {
+            q.try_enqueue(i).expect("recovered after dequeues");
+        }
+        for i in 100..104 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert!(budget.reserved() <= 3, "bound holds across the cycle");
+    }
+
+    #[test]
+    fn try_enqueue_batch_reports_exact_retriable_prefix() {
+        let budget = tiny_budget(3);
+        let q: SegQueue<u64> = SegQueue::with_config_and_budget(
+            SegConfig {
+                seg_size: 2,
+                ..SegConfig::DEFAULT
+            },
+            Arc::clone(&budget),
+        );
+        let values: Vec<u64> = (0..20).collect();
+        let err = q.try_enqueue_batch(&values).expect_err("20 > capacity 6");
+        assert_eq!(err.pushed, 6, "budget of 3 two-slot segments");
+        // The suffix is retriable verbatim after draining.
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_batch(&mut out, 64), 6);
+        assert_eq!(out, (0..6).collect::<Vec<u64>>());
+        match q.try_enqueue_batch(&values[err.pushed..]) {
+            Ok(()) => {}
+            Err(e) => {
+                // A second round of backpressure is fine; what matters is
+                // the prefix contract.
+                assert!(e.pushed > 0);
+            }
+        }
+        let mut rest = Vec::new();
+        q.dequeue_batch(&mut rest, 64);
+        assert_eq!(rest[0], 6, "suffix continues exactly where it stopped");
+        for w in rest.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "no loss, no duplication");
+        }
+    }
+
+    #[test]
+    fn exhaustion_shrinks_a_sibling_queues_pool() {
+        let budget = tiny_budget(4);
+        let cfg = SegConfig {
+            seg_size: 2,
+            ..SegConfig::DEFAULT
+        };
+        let idle: SegQueue<u64> = SegQueue::with_config_and_budget(cfg, Arc::clone(&budget));
+        let busy: SegQueue<u64> = SegQueue::with_config_and_budget(cfg, Arc::clone(&budget));
+        // Make `idle` pool a drained segment: grow to 2 segments, drain.
+        for i in 0..4 {
+            idle.try_enqueue(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(idle.dequeue(), Some(i));
+        }
+        assert_eq!(budget.reserved(), 3, "2 queue floors + 1 pooled");
+        // `busy` needs two fresh segments; the second only fits because
+        // reclaim pressure frees `idle`'s pooled segment.
+        for i in 0..5 {
+            busy.try_enqueue(i).unwrap_or_else(|v| {
+                panic!("value {v} denied despite reclaimable pool");
+            });
+        }
+        assert!(budget.reserved() <= 4);
+        let denied: u64 = budget.denials();
+        assert!(
+            denied >= 1,
+            "the reclaim ladder begins with a denied fast reserve"
+        );
+    }
+
+    #[test]
+    fn dropping_a_budgeted_queue_returns_to_the_floor() {
+        let budget = tiny_budget(8);
+        {
+            let q: SegQueue<String> = SegQueue::with_config_and_budget(
+                SegConfig {
+                    seg_size: 2,
+                    ..SegConfig::DEFAULT
+                },
+                Arc::clone(&budget),
+            );
+            for i in 0..10 {
+                q.try_enqueue(format!("v{i}")).unwrap();
+            }
+            assert!(budget.reserved() > 1);
+        }
+        // Queue dropped: chain and pool freed. Hazard-retired segments
+        // (none here: single-threaded) would drain via eager_scan.
+        GLOBAL_DOMAIN.eager_scan();
+        assert_eq!(
+            budget.reserved(),
+            0,
+            "a dropped queue releases every unit, including its floor"
+        );
     }
 
     #[test]

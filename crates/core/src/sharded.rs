@@ -25,7 +25,10 @@
 //! balanced workload mostly dequeues locally and the sweep only runs near
 //! emptiness.
 
-use msq_platform::{BatchFull, ConcurrentWordQueue, Platform, QueueFull};
+use std::sync::Arc;
+
+use msq_arena::MemBudget;
+use msq_platform::{BatchFull, ConcurrentWordQueue, NativePlatform, Platform, QueueFull};
 
 use crate::seg_queue::{SegConfig, SegQueue};
 use crate::word_seg::WordSegQueue;
@@ -95,6 +98,30 @@ impl<T> ShardedQueue<T> {
         assert!(shards > 0, "need at least one shard");
         ShardedQueue {
             shards: (0..shards).map(|_| SegQueue::with_config(config)).collect(),
+        }
+    }
+
+    /// Creates a queue whose shards all reserve segments against one
+    /// shared `budget` (and register pool-shrink reclaimers with it), so
+    /// the front-end's aggregate residency — not just each shard's — is
+    /// bounded. Note each shard keeps a one-segment floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_config_and_budget(
+        shards: usize,
+        config: SegConfig,
+        budget: Arc<MemBudget<NativePlatform>>,
+    ) -> Self
+    where
+        T: Send + 'static,
+    {
+        assert!(shards > 0, "need at least one shard");
+        ShardedQueue {
+            shards: (0..shards)
+                .map(|_| SegQueue::with_config_and_budget(config, Arc::clone(&budget)))
+                .collect(),
         }
     }
 
@@ -205,6 +232,30 @@ impl<P: Platform> WordShardedQueue<P> {
         WordShardedQueue {
             shards: (0..shards)
                 .map(|_| WordSegQueue::with_capacity(platform, per_shard))
+                .collect(),
+            platform: platform.clone(),
+        }
+    }
+
+    /// As [`WordShardedQueue::with_shards`], but every shard's arena
+    /// reserves segments against the one shared `budget`, bounding the
+    /// front-end's aggregate residency. An exhausted budget surfaces as
+    /// [`QueueFull`] / [`BatchFull`] after the usual spill sweep. Each
+    /// shard's dummy segment takes one unit for the queue's lifetime, so
+    /// the budget must be at least `shards`.
+    pub fn with_shards_and_budget(
+        platform: &P,
+        capacity: u32,
+        shards: usize,
+        budget: Arc<MemBudget<P>>,
+    ) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let per_shard = capacity.div_ceil(shards as u32).max(1);
+        WordShardedQueue {
+            shards: (0..shards)
+                .map(|_| {
+                    WordSegQueue::with_capacity_and_budget(platform, per_shard, Arc::clone(&budget))
+                })
                 .collect(),
             platform: platform.clone(),
         }

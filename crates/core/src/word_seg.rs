@@ -21,7 +21,9 @@
 //! in which a preempted enqueuer delays dequeuers at that slot (every
 //! other path keeps the paper's lock-freedom).
 
-use msq_arena::SegArena;
+use std::sync::Arc;
+
+use msq_arena::{MemBudget, SegArena};
 use msq_platform::{
     AtomicWord, Backoff, BackoffConfig, BatchFull, ConcurrentWordQueue, Platform, QueueFull,
     Tagged, NULL_INDEX,
@@ -94,6 +96,31 @@ impl<P: Platform> WordSegQueue<P> {
         Self::with_seg_size_and_backoff(platform, capacity, Self::DEFAULT_SEG_SIZE, backoff)
     }
 
+    /// As [`WordSegQueue::with_capacity`], but the queue's segment
+    /// residency (live segments, including the dummy) is reserved against
+    /// `budget`, shared with any other arenas on the same budget. When
+    /// the budget is exhausted the growth paths report
+    /// [`QueueFull`] / [`BatchFull`] backpressure exactly as an exhausted
+    /// arena does — natively and under the simulator alike, since the
+    /// budget's counters are platform cells.
+    ///
+    /// Note the dummy segment consumes one unit for the queue's whole
+    /// lifetime: a budget below the number of sharing queues cannot even
+    /// construct them.
+    pub fn with_capacity_and_budget(
+        platform: &P,
+        capacity: u32,
+        budget: Arc<MemBudget<P>>,
+    ) -> Self {
+        Self::build(
+            platform,
+            capacity,
+            Self::DEFAULT_SEG_SIZE,
+            BackoffConfig::DEFAULT,
+            Some(budget),
+        )
+    }
+
     /// Full control over segment size, for the segment-size ablation.
     ///
     /// # Panics
@@ -106,12 +133,27 @@ impl<P: Platform> WordSegQueue<P> {
         seg_size: u32,
         backoff: BackoffConfig,
     ) -> Self {
+        Self::build(platform, capacity, seg_size, backoff, None)
+    }
+
+    fn build(
+        platform: &P,
+        capacity: u32,
+        seg_size: u32,
+        backoff: BackoffConfig,
+        budget: Option<Arc<MemBudget<P>>>,
+    ) -> Self {
         assert!(seg_size > 0, "segments need at least one slot");
         let seg_count = capacity.div_ceil(seg_size).max(1) + SEG_HEADROOM;
-        let arena = SegArena::new(platform, seg_count, seg_size);
+        let arena = match budget {
+            Some(budget) => SegArena::with_budget(platform, seg_count, seg_size, budget),
+            None => SegArena::new(platform, seg_count, seg_size),
+        };
         // initialize(Q): one segment plays the role of the dummy node;
         // Head and Tail both point at it.
-        let first = arena.alloc().expect("fresh arena");
+        let first = arena
+            .alloc()
+            .expect("fresh arena with at least one budget unit");
         arena.set_next(first, NULL_INDEX);
         let head = platform.alloc_cell(Tagged::new(first, 0).raw());
         let tail = platform.alloc_cell(Tagged::new(first, 0).raw());
@@ -134,6 +176,11 @@ impl<P: Platform> WordSegQueue<P> {
     /// Slots per segment.
     pub fn seg_size(&self) -> u32 {
         self.arena.seg_size()
+    }
+
+    /// The memory budget the queue's arena reserves against, if any.
+    pub fn budget(&self) -> Option<&Arc<MemBudget<P>>> {
+        self.arena.budget()
     }
 }
 
@@ -946,6 +993,80 @@ mod tests {
         });
         assert_eq!(q.dequeue(), None);
         assert!(report.total_ops > 0);
+    }
+
+    #[test]
+    fn budget_backpressure_and_recovery_native() {
+        let platform = NativePlatform::new();
+        let budget = Arc::new(MemBudget::new(&platform, 2));
+        let q = WordSegQueue::with_capacity_and_budget(&platform, 64, Arc::clone(&budget));
+        // The dummy segment holds one unit for the queue's lifetime.
+        assert_eq!(budget.reserved(), 1);
+
+        let mut accepted = 0u64;
+        let rejected = loop {
+            match q.enqueue(accepted) {
+                Ok(()) => accepted += 1,
+                Err(QueueFull(v)) => break v,
+            }
+        };
+        assert_eq!(rejected, accepted, "the rejected value comes back intact");
+        assert!(
+            accepted >= u64::from(q.seg_size()),
+            "two budget units hold at least one segment of values, got {accepted}"
+        );
+        assert!(budget.reserved() <= 2, "residency never exceeds the limit");
+        assert!(budget.denials() > 0, "exhaustion was metered");
+
+        // Draining recycles segments back through the arena, crediting the
+        // budget, so the queue recovers without any reconfiguration.
+        for i in 0..accepted {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+        q.enqueue(u64::MAX).unwrap();
+        assert_eq!(q.dequeue(), Some(u64::MAX));
+        assert!(budget.reserved() <= 2);
+    }
+
+    #[test]
+    fn budget_backpressure_and_recovery_under_simulation() {
+        use msq_sim::{SimConfig, Simulation};
+        let sim = Simulation::new(SimConfig {
+            processors: 2,
+            ..SimConfig::default()
+        });
+        let platform = sim.platform();
+        let budget = Arc::new(MemBudget::new(&platform, 2));
+        let q = Arc::new(WordSegQueue::with_capacity_and_budget(
+            &platform,
+            64,
+            Arc::clone(&budget),
+        ));
+        sim.run({
+            let q = Arc::clone(&q);
+            move |info| {
+                if info.pid != 0 {
+                    return;
+                }
+                let mut sent = 0u64;
+                let rejected = loop {
+                    match q.enqueue(sent) {
+                        Ok(()) => sent += 1,
+                        Err(QueueFull(v)) => break v,
+                    }
+                };
+                assert_eq!(rejected, sent);
+                for i in 0..sent {
+                    assert_eq!(q.dequeue(), Some(i));
+                }
+                q.enqueue(u64::MAX).unwrap();
+                assert_eq!(q.dequeue(), Some(u64::MAX));
+            }
+        });
+        assert_eq!(q.dequeue(), None);
+        assert!(budget.reserved() <= 2, "simulated residency is capped too");
+        assert!(budget.denials() > 0);
     }
 
     #[test]

@@ -179,6 +179,7 @@ mod tests {
             pairs_total: 120,
             other_work_ns: 500,
             capacity: 64,
+            mem_budget: None,
         };
         let data = run_figure(
             figure_spec(3),

@@ -3,8 +3,9 @@
 
 use std::sync::Arc;
 
+use msq_arena::MemBudget;
 use msq_baselines::{McQueue, PljQueue, SingleLockQueue, ValoisQueue};
-use msq_core::{WordMsQueue, WordSegQueue, WordShardedQueue, WordTwoLockQueue};
+use msq_core::{WordMsQueue, WordSegQueue, WordShardedQueue, WordTwoLockQueue, DEFAULT_SHARDS};
 use msq_platform::{ConcurrentWordQueue, Platform};
 
 /// The six algorithms of Figures 3–5, in the paper's legend order, plus
@@ -105,6 +106,34 @@ impl Algorithm {
 
     /// Constructs the queue over any platform with the given capacity.
     pub fn build<P: Platform>(self, platform: &P, capacity: u32) -> Arc<dyn ConcurrentWordQueue> {
+        self.build_with_budget(platform, capacity, None)
+    }
+
+    /// As [`Algorithm::build`], optionally metering segment residency
+    /// against a shared [`MemBudget`]. Only the segment-based extensions
+    /// ([`Algorithm::SegBatched`], [`Algorithm::Sharded`]) allocate
+    /// segments, so only they consult the budget; the paper's six
+    /// allocate node arenas up front and ignore it.
+    pub fn build_with_budget<P: Platform>(
+        self,
+        platform: &P,
+        capacity: u32,
+        budget: Option<Arc<MemBudget<P>>>,
+    ) -> Arc<dyn ConcurrentWordQueue> {
+        if let Some(budget) = budget {
+            return match self {
+                Algorithm::SegBatched => Arc::new(WordSegQueue::with_capacity_and_budget(
+                    platform, capacity, budget,
+                )),
+                Algorithm::Sharded => Arc::new(WordShardedQueue::with_shards_and_budget(
+                    platform,
+                    capacity,
+                    DEFAULT_SHARDS,
+                    budget,
+                )),
+                other => other.build_with_budget(platform, capacity, None),
+            };
+        }
         match self {
             Algorithm::SingleLock => Arc::new(SingleLockQueue::with_capacity(platform, capacity)),
             Algorithm::MellorCrummey => Arc::new(McQueue::with_capacity(platform, capacity)),

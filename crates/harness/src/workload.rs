@@ -3,6 +3,7 @@
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
+use msq_arena::MemBudget;
 use msq_platform::{ConcurrentWordQueue, NativePlatform, Platform};
 use msq_sim::{SimConfig, Simulation};
 
@@ -22,6 +23,12 @@ pub struct WorkloadConfig {
     /// (= number of processes); Valois additionally needs headroom for
     /// pinned chains.
     pub capacity: u32,
+    /// Global segment-residency budget, in segments. `Some(limit)` meters
+    /// the segment-based extensions against a fresh [`MemBudget`] for the
+    /// run and reports peak residency/denials in the [`MeasuredPoint`];
+    /// `None` (the default) runs unbudgeted. The paper's six preallocate
+    /// node arenas and ignore it.
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for WorkloadConfig {
@@ -30,6 +37,7 @@ impl Default for WorkloadConfig {
             pairs_total: 20_000,
             other_work_ns: 6_000,
             capacity: 4_096,
+            mem_budget: None,
         }
     }
 }
@@ -56,6 +64,12 @@ pub struct MeasuredPoint {
     pub cas_failures: u64,
     /// Preemptions (simulated runs only).
     pub preemptions: u64,
+    /// High-water mark of concurrently resident segments, when the run
+    /// was budgeted ([`WorkloadConfig::mem_budget`]); `None` otherwise.
+    pub peak_resident_segments: Option<u64>,
+    /// Allocations denied by budget exhaustion (each one forced the
+    /// backpressure/reclaim path), when the run was budgeted.
+    pub budget_denials: Option<u64>,
 }
 
 impl MeasuredPoint {
@@ -161,7 +175,10 @@ pub fn run_simulated(
 ) -> MeasuredPoint {
     let sim = Simulation::new(sim_config);
     let platform = sim.platform();
-    let queue = algorithm.build(&platform, workload.capacity);
+    let budget = workload
+        .mem_budget
+        .map(|limit| Arc::new(MemBudget::new(&platform, limit)));
+    let queue = algorithm.build_with_budget(&platform, workload.capacity, budget.clone());
     let n = sim.num_processes();
     let pairs_total = workload.pairs_total;
     let other_work_ns = workload.other_work_ns;
@@ -188,6 +205,8 @@ pub fn run_simulated(
         miss_rate: report.miss_rate(),
         cas_failures: report.cas_failures,
         preemptions: report.preemptions,
+        peak_resident_segments: budget.as_ref().map(|b| b.peak()),
+        budget_denials: budget.as_ref().map(|b| b.denials()),
     }
 }
 
@@ -204,7 +223,10 @@ pub fn run_native(
 ) -> MeasuredPoint {
     assert!(processes >= 1);
     let platform = NativePlatform::new();
-    let queue = algorithm.build(&platform, workload.capacity);
+    let budget = workload
+        .mem_budget
+        .map(|limit| Arc::new(MemBudget::new(&platform, limit)));
+    let queue = algorithm.build_with_budget(&platform, workload.capacity, budget.clone());
     let barrier = Arc::new(Barrier::new(processes + 1));
     let pairs_total = workload.pairs_total;
     let other_work_ns = workload.other_work_ns;
@@ -236,6 +258,8 @@ pub fn run_native(
         miss_rate: 0.0,
         cas_failures: 0,
         preemptions: 0,
+        peak_resident_segments: budget.as_ref().map(|b| b.peak()),
+        budget_denials: budget.as_ref().map(|b| b.denials()),
     }
 }
 
@@ -256,7 +280,10 @@ pub fn run_simulated_batched(
     assert!(batch >= 1);
     let sim = Simulation::new(sim_config);
     let platform = sim.platform();
-    let queue = algorithm.build(&platform, workload.capacity);
+    let budget = workload
+        .mem_budget
+        .map(|limit| Arc::new(MemBudget::new(&platform, limit)));
+    let queue = algorithm.build_with_budget(&platform, workload.capacity, budget.clone());
     let n = sim.num_processes();
     // Every process may hold a whole batch in flight; a tighter capacity
     // could deadlock all producers against a full queue.
@@ -287,6 +314,8 @@ pub fn run_simulated_batched(
         miss_rate: report.miss_rate(),
         cas_failures: report.cas_failures,
         preemptions: report.preemptions,
+        peak_resident_segments: budget.as_ref().map(|b| b.peak()),
+        budget_denials: budget.as_ref().map(|b| b.denials()),
     }
 }
 
@@ -305,7 +334,10 @@ pub fn run_native_batched(
         "capacity must cover processes * batch"
     );
     let platform = NativePlatform::new();
-    let queue = algorithm.build(&platform, workload.capacity);
+    let budget = workload
+        .mem_budget
+        .map(|limit| Arc::new(MemBudget::new(&platform, limit)));
+    let queue = algorithm.build_with_budget(&platform, workload.capacity, budget.clone());
     let barrier = Arc::new(Barrier::new(processes + 1));
     let pairs_total = workload.pairs_total;
     let other_work_ns = workload.other_work_ns;
@@ -338,6 +370,8 @@ pub fn run_native_batched(
         miss_rate: 0.0,
         cas_failures: 0,
         preemptions: 0,
+        peak_resident_segments: budget.as_ref().map(|b| b.peak()),
+        budget_denials: budget.as_ref().map(|b| b.denials()),
     }
 }
 
@@ -350,6 +384,7 @@ mod tests {
             pairs_total: 300,
             other_work_ns: 500,
             capacity: 256,
+            mem_budget: None,
         }
     }
 
@@ -485,6 +520,42 @@ mod tests {
     }
 
     #[test]
+    fn budgeted_simulated_run_reports_peak_within_limit() {
+        for alg in [Algorithm::SegBatched, Algorithm::Sharded] {
+            let point = run_simulated_batched(
+                alg,
+                SimConfig {
+                    processors: 2,
+                    ..SimConfig::default()
+                },
+                &WorkloadConfig {
+                    mem_budget: Some(48),
+                    ..tiny()
+                },
+                8,
+            );
+            let peak = point.peak_resident_segments.expect("budgeted run");
+            assert!(peak >= 1, "{alg}: the dummy segment is always resident");
+            assert!(peak <= 48, "{alg}: peak {peak} exceeded the budget");
+            assert!(point.budget_denials.is_some(), "{alg}");
+        }
+    }
+
+    #[test]
+    fn unbudgeted_runs_report_no_residency_metrics() {
+        let point = run_simulated(
+            Algorithm::SegBatched,
+            SimConfig {
+                processors: 2,
+                ..SimConfig::default()
+            },
+            &tiny(),
+        );
+        assert_eq!(point.peak_resident_segments, None);
+        assert_eq!(point.budget_denials, None);
+    }
+
+    #[test]
     fn net_normalization_scales_to_per_million() {
         let point = MeasuredPoint {
             algorithm: Algorithm::SingleLock,
@@ -496,6 +567,8 @@ mod tests {
             miss_rate: 0.0,
             cas_failures: 0,
             preemptions: 0,
+            peak_resident_segments: None,
+            budget_denials: None,
         };
         // 1 ms per 10^4 pairs -> 100 ms per 10^6 pairs = 0.1 s.
         assert!((point.net_secs_per_million_pairs() - 0.1).abs() < 1e-9);

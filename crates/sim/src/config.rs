@@ -37,6 +37,14 @@ pub struct SimConfig {
     /// tracing, the default). Tracing changes no behaviour — only the
     /// report contents.
     pub trace_capacity: usize,
+    /// Schedule seed. `0` (the default) is the **canonical schedule**:
+    /// byte-identical to the simulator's historical behaviour, so exact
+    /// virtual-time regression tests keep passing. Any other value
+    /// perturbs per-processor clock phases and quantum jitter
+    /// deterministically, yielding a different — but still reproducible —
+    /// legal interleaving. [`crate::schedule_sweep`] runs a closure
+    /// across many seeds to sample the schedule space.
+    pub seed: u64,
 }
 
 impl SimConfig {
@@ -75,6 +83,7 @@ impl Default for SimConfig {
             ctx_switch_ns: 25_000,
             quantum_ns: 10_000_000,
             trace_capacity: 0,
+            seed: 0,
         }
     }
 }

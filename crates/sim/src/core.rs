@@ -9,6 +9,15 @@ use crate::config::SimConfig;
 /// Identifies "no process" in the token slot.
 pub(crate) const NOBODY: usize = usize::MAX;
 
+/// SplitMix64: a full-period mixer used to derive per-processor schedule
+/// perturbations from [`SimConfig::seed`].
+pub(crate) fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// The kinds of shared-memory operation the cost model distinguishes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum MemOp {
@@ -89,11 +98,29 @@ impl Core {
         cfg.validate();
         let n = cfg.num_processes();
         let mut processors: Vec<Processor> = (0..cfg.processors)
-            .map(|cpu| Processor {
-                clock_ns: 0,
-                run_queue: VecDeque::new(),
-                quantum_left_ns: cfg.quantum_ns,
-                rng: 0x9e37_79b9_7f4a_7c15 ^ (cpu as u64 + 1),
+            .map(|cpu| {
+                // Seed 0 is the canonical schedule: zero clock phase and
+                // the historical rng constant, byte-for-byte. Any other
+                // seed perturbs both — the clock phase changes which
+                // processor `pick_next` favours (the only jitter source
+                // on dedicated runs, which never rotate quanta), and the
+                // rng changes quantum jitter on multiprogrammed runs.
+                let mix = if cfg.seed == 0 {
+                    0
+                } else {
+                    splitmix64(cfg.seed ^ (cpu as u64 + 1).wrapping_mul(0xa076_1d64_78bd_642f))
+                };
+                let mut rng = 0x9e37_79b9_7f4a_7c15 ^ (cpu as u64 + 1) ^ mix;
+                if rng == 0 {
+                    // Xorshift's fixed point; any nonzero constant will do.
+                    rng = 0x9e37_79b9_7f4a_7c15;
+                }
+                Processor {
+                    clock_ns: mix % 64,
+                    run_queue: VecDeque::new(),
+                    quantum_left_ns: cfg.quantum_ns,
+                    rng,
+                }
             })
             .collect();
         let processes: Vec<Process> = (0..n)
@@ -539,6 +566,44 @@ mod tests {
         core.remove_process(1);
         assert_eq!(core.pick_next(), NOBODY);
         assert_eq!(core.live, 0);
+    }
+
+    #[test]
+    fn seed_zero_is_the_canonical_schedule() {
+        let core = Core::new(two_cpu_cfg());
+        for (cpu, p) in core.processors.iter().enumerate() {
+            assert_eq!(p.clock_ns, 0, "seed 0 must not phase-shift clocks");
+            assert_eq!(
+                p.rng,
+                0x9e37_79b9_7f4a_7c15 ^ (cpu as u64 + 1),
+                "seed 0 must keep the historical rng"
+            );
+        }
+    }
+
+    #[test]
+    fn nonzero_seeds_perturb_the_schedule_deterministically() {
+        let cfg = SimConfig {
+            seed: 7,
+            ..two_cpu_cfg()
+        };
+        let a = Core::new(cfg);
+        let b = Core::new(cfg);
+        for (pa, pb) in a.processors.iter().zip(&b.processors) {
+            assert_eq!(pa.clock_ns, pb.clock_ns, "same seed, same schedule");
+            assert_eq!(pa.rng, pb.rng);
+        }
+        let canonical = Core::new(two_cpu_cfg());
+        let differs = a
+            .processors
+            .iter()
+            .zip(&canonical.processors)
+            .any(|(pa, pc)| pa.clock_ns != pc.clock_ns || pa.rng != pc.rng);
+        assert!(differs, "seed 7 must not collapse onto the canonical run");
+        for p in &a.processors {
+            assert!(p.clock_ns < 64, "phase offsets stay negligible");
+            assert_ne!(p.rng, 0, "xorshift state must avoid its fixed point");
+        }
     }
 
     #[test]

@@ -61,8 +61,10 @@ mod core;
 mod platform;
 mod report;
 mod runner;
+mod sweep;
 
 pub use config::SimConfig;
 pub use platform::{SimCell, SimPlatform};
 pub use report::{ProcessReport, SimReport, TraceEvent, TraceKind};
 pub use runner::{ProcessInfo, Simulation};
+pub use sweep::schedule_sweep;

@@ -1,0 +1,142 @@
+//! [`schedule_sweep`]: run a test body across many deterministic
+//! schedules.
+//!
+//! A single simulated run explores exactly one legal interleaving. The
+//! sweep re-runs a closure under `K` distinct [`SimConfig::seed`] values —
+//! always starting with seed 0, the canonical schedule — so a test
+//! samples `K` different (but individually reproducible) interleavings.
+//! Because every seed is independent, the *first failing sweep index is
+//! already the minimal counterexample*; on failure the helper prints the
+//! exact `seed` value to paste into a `SimConfig` for a single-schedule
+//! reproduction, then re-raises the panic.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::config::SimConfig;
+use crate::core::splitmix64;
+
+/// Runs `body` once per sweep index in `0..seeds`, each time with a
+/// distinct deterministic schedule seed patched into `base` (index 0 maps
+/// to seed 0, the canonical schedule).
+///
+/// On the first failure, prints the failing sweep index and seed — the
+/// shrunk, single-schedule reproduction — and resumes the panic.
+///
+/// # Example
+///
+/// ```
+/// use msq_sim::{schedule_sweep, SimConfig, Simulation};
+///
+/// schedule_sweep(SimConfig { processors: 2, ..SimConfig::default() }, 4, |cfg| {
+///     let sim = Simulation::new(cfg);
+///     let report = sim.run(|_| {});
+///     assert_eq!(report.total_ops, 0);
+/// });
+/// ```
+///
+/// # Panics
+///
+/// Re-raises the first panic from `body`, after printing the failing
+/// seed.
+pub fn schedule_sweep<F>(base: SimConfig, seeds: u64, body: F)
+where
+    F: Fn(SimConfig),
+{
+    for index in 0..seeds {
+        let seed = if index == 0 { 0 } else { splitmix64(index) };
+        let cfg = SimConfig { seed, ..base };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(cfg))) {
+            eprintln!(
+                "schedule_sweep: first failing schedule at sweep index {index} \
+                 of {seeds}; reproduce with `SimConfig {{ seed: {seed:#x}, .. }}`"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulation;
+    use msq_platform::Platform;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn visits_every_seed_starting_with_canonical() {
+        let seen = std::cell::RefCell::new(Vec::new());
+        schedule_sweep(SimConfig::default(), 8, |cfg| {
+            seen.borrow_mut().push(cfg.seed);
+        });
+        let seen = seen.into_inner();
+        assert_eq!(seen.len(), 8);
+        assert_eq!(seen[0], 0, "index 0 is the canonical schedule");
+        let mut unique = seen.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 8, "seeds must be distinct");
+    }
+
+    #[test]
+    fn seeds_actually_produce_different_interleavings() {
+        // Two contended processors bumping one counter: the per-seed
+        // clock phases shift which processor pick_next favours, so the
+        // elapsed virtual time varies across seeds (while any single
+        // seed stays deterministic).
+        let mut elapsed = Vec::new();
+        for _ in 0..2 {
+            let per_seed = std::cell::RefCell::new(Vec::new());
+            schedule_sweep(
+                SimConfig {
+                    processors: 2,
+                    ..SimConfig::default()
+                },
+                8,
+                |cfg| {
+                    let sim = Simulation::new(cfg);
+                    let counter = Arc::new(sim.platform().alloc_cell(0));
+                    let report = sim.run({
+                        let counter = Arc::clone(&counter);
+                        move |_| {
+                            use msq_platform::AtomicWord;
+                            for _ in 0..32 {
+                                counter.fetch_add(1);
+                            }
+                        }
+                    });
+                    per_seed.borrow_mut().push(report.elapsed_ns);
+                },
+            );
+            elapsed.push(per_seed.into_inner());
+        }
+        assert_eq!(elapsed[0], elapsed[1], "each seed is deterministic");
+        let mut unique = elapsed[0].clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert!(
+            unique.len() > 1,
+            "8 seeds should yield more than one distinct schedule: {:?}",
+            elapsed[0]
+        );
+    }
+
+    #[test]
+    fn failure_reports_first_failing_seed_and_reraises() {
+        let runs = Arc::new(AtomicU64::new(0));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let runs = Arc::clone(&runs);
+            schedule_sweep(SimConfig::default(), 16, move |_| {
+                if runs.fetch_add(1, Ordering::Relaxed) == 3 {
+                    panic!("injected failure");
+                }
+            });
+        }));
+        assert!(result.is_err(), "the panic must propagate");
+        assert_eq!(
+            runs.load(Ordering::Relaxed),
+            4,
+            "sweep stops at the first failure (indices 0..=3 ran)"
+        );
+    }
+}

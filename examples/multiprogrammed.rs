@@ -18,6 +18,7 @@ fn main() {
         pairs_total: 4_000,
         other_work_ns: 6_000,
         capacity: 2_048,
+        mem_budget: None,
     };
     // The paper ran 10^6 pairs against a 10 ms quantum; with the op count
     // scaled down 250x, scale the quantum (and switch cost) to match so

@@ -15,6 +15,7 @@ fn main() {
         pairs_total: 4_000,
         other_work_ns: 6_000,
         capacity: 1_024,
+        mem_budget: None,
     };
     let processors = [1, 2, 4, 8];
     println!(

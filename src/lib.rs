@@ -35,7 +35,10 @@
 //!
 //! ## The apparatus
 //!
-//! * [`sim`] — deterministic virtual-time multiprocessor ([`Simulation`]).
+//! * [`sim`] — deterministic virtual-time multiprocessor ([`Simulation`]),
+//!   with seeded schedule perturbation ([`schedule_sweep`]).
+//! * [`MemBudget`] — a process-global bound on live segments, shared
+//!   across queues, with reclaim pressure and backpressure on exhaustion.
 //! * [`harness`] — the Section 4 workload and figure sweeps
 //!   ([`run_simulated`], [`run_figure`]).
 //! * [`linearize`] — history recording and linearizability checking.
@@ -69,7 +72,7 @@ pub use msq_platform as platform;
 pub use msq_sim as sim;
 pub use msq_sync as sync;
 
-pub use msq_arena::SegArena;
+pub use msq_arena::{MemBudget, SegArena};
 pub use msq_baselines::{
     HerlihyQueue, LamportQueue, McQueue, PljQueue, SingleLockQueue, TreiberStack, ValoisQueue,
 };
@@ -87,5 +90,5 @@ pub use msq_platform::{
     AtomicWord, Backoff, BackoffConfig, BatchFull, ConcurrentStack, ConcurrentWordQueue,
     NativePlatform, Platform, QueueFull, Tagged,
 };
-pub use msq_sim::{SimConfig, SimPlatform, SimReport, Simulation};
+pub use msq_sim::{schedule_sweep, SimConfig, SimPlatform, SimReport, Simulation};
 pub use msq_sync::{ClhLock, McsLock, RawLock, TasLock, TicketLock, TokenLock, TtasLock};

@@ -6,7 +6,8 @@
 use std::sync::{Arc, Mutex};
 
 use ms_queues::{
-    is_linearizable_queue, Algorithm, NativePlatform, Recorder, SimConfig, Simulation,
+    is_linearizable_queue, schedule_sweep, Algorithm, NativePlatform, Recorder, SimConfig,
+    Simulation,
 };
 
 use ms_queues::ConcurrentWordQueue;
@@ -89,14 +90,19 @@ fn safe_large_history(algorithm: Algorithm) {
 /// The same small-window check on the deterministic simulator, sampling
 /// preemption-driven interleavings a host scheduler rarely produces. The
 /// recorder's logical clock is host-level, so the recorded intervals are
-/// the real-time order of the simulated execution.
+/// the real-time order of the simulated execution. [`schedule_sweep`]
+/// perturbs the deterministic schedule across 32 seeds, so each algorithm
+/// is checked against 32 distinct (individually reproducible)
+/// interleavings; on failure the sweep prints the seed to replay.
 fn linearizable_small_windows_simulated(algorithm: Algorithm) {
-    for quantum_ns in [30_000_u64, 60_000, 100_000] {
-        let sim = Simulation::new(SimConfig {
-            processors: 3,
-            quantum_ns,
-            ..SimConfig::default()
-        });
+    let base = SimConfig {
+        processors: 3,
+        quantum_ns: 60_000,
+        ..SimConfig::default()
+    };
+    schedule_sweep(base, 32, |cfg| {
+        let seed = cfg.seed;
+        let sim = Simulation::new(cfg);
         let queue = algorithm.build(&sim.platform(), 64);
         let recorder = Recorder::new();
         let handles: Vec<_> = (0..3).map(|p| Some(recorder.handle(p))).collect();
@@ -116,15 +122,15 @@ fn linearizable_small_windows_simulated(algorithm: Algorithm) {
         let history = recorder.finish();
         assert!(
             history.check_queue_safety().is_empty(),
-            "{algorithm}: fast checks failed at quantum {quantum_ns}"
+            "{algorithm}: fast checks failed at seed {seed:#x}"
         );
         assert!(
             is_linearizable_queue(history.events()),
-            "{algorithm}: simulated history not linearizable at quantum \
-             {quantum_ns}: {:?}",
+            "{algorithm}: simulated history not linearizable at seed \
+             {seed:#x}: {:?}",
             history.events()
         );
-    }
+    });
 }
 
 macro_rules! linearizability_tests {
@@ -270,42 +276,48 @@ mod sharded {
 
     #[test]
     fn multi_shard_preserves_per_shard_fifo_simulated() {
-        use ms_queues::{SimConfig, Simulation};
+        use ms_queues::{schedule_sweep, SimConfig, Simulation};
 
-        let per_producer = 200_u64;
+        let per_producer = 64_u64;
         let producers = 2_u64; // pids 0 and 1 produce; pids 2 and 3 consume
         let total = producers * per_producer;
-        let sim = Simulation::new(SimConfig {
+        let base = SimConfig {
             processors: 4,
             ..SimConfig::default()
-        });
-        let queue = Arc::new(WordShardedQueue::with_shards(&sim.platform(), 16_384, 4));
-        let taken = Arc::new(AtomicU64::new(0));
-        let consumed = Arc::new(Mutex::new(vec![Vec::new(), Vec::new()]));
-        sim.run({
-            let queue = Arc::clone(&queue);
-            let taken = Arc::clone(&taken);
-            let consumed = Arc::clone(&consumed);
-            move |info| {
-                if (info.pid as u64) < producers {
-                    let t = info.pid as u64;
-                    for i in 0..per_producer {
-                        queue.enqueue((t << 32) | i).unwrap();
-                    }
-                } else {
-                    let mut local = Vec::new();
-                    while taken.load(Ordering::Relaxed) < total {
-                        if let Some(v) = queue.dequeue() {
-                            taken.fetch_add(1, Ordering::Relaxed);
-                            local.push(v);
+        };
+        // 32 seeded schedules: each perturbs which producer/consumer the
+        // virtual-time scheduler favours, so the per-shard FIFO promise is
+        // checked across many distinct interleavings.
+        schedule_sweep(base, 32, |cfg| {
+            let sim = Simulation::new(cfg);
+            let queue = Arc::new(WordShardedQueue::with_shards(&sim.platform(), 16_384, 4));
+            let taken = Arc::new(AtomicU64::new(0));
+            let consumed = Arc::new(Mutex::new(vec![Vec::new(), Vec::new()]));
+            sim.run({
+                let queue = Arc::clone(&queue);
+                let taken = Arc::clone(&taken);
+                let consumed = Arc::clone(&consumed);
+                move |info| {
+                    if (info.pid as u64) < producers {
+                        let t = info.pid as u64;
+                        for i in 0..per_producer {
+                            queue.enqueue((t << 32) | i).unwrap();
                         }
+                    } else {
+                        let mut local = Vec::new();
+                        while taken.load(Ordering::Relaxed) < total {
+                            if let Some(v) = queue.dequeue() {
+                                taken.fetch_add(1, Ordering::Relaxed);
+                                local.push(v);
+                            }
+                        }
+                        consumed.lock().unwrap()[info.pid - 2] = local;
                     }
-                    consumed.lock().unwrap()[info.pid - 2] = local;
                 }
-            }
+            });
+            let consumed = Arc::try_unwrap(consumed).unwrap().into_inner().unwrap();
+            check_per_shard_fifo(&consumed, producers, per_producer);
+            assert_eq!(queue.dequeue(), None);
         });
-        let consumed = Arc::try_unwrap(consumed).unwrap().into_inner().unwrap();
-        check_per_shard_fifo(&consumed, producers, per_producer);
-        assert_eq!(queue.dequeue(), None);
     }
 }

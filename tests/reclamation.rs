@@ -160,6 +160,154 @@ fn lock_free_stack_drops_every_value_exactly_once() {
     );
 }
 
+/// Budget invariants under multi-queue churn: three queues share one
+/// [`MemBudget`], worker threads hammer them through the fallible paths,
+/// and at every step the number of live segments (in queues *or* pools —
+/// pooled segments are still resident memory) stays within the limit.
+/// After the churn, escalating reclaim (pool shrink, hazard flush) must
+/// walk residency back down to the floor: one dummy segment per live
+/// queue, then zero once the queues are gone.
+#[test]
+fn shared_budget_bounds_residency_across_churning_queues() {
+    use ms_queues::hazard::GLOBAL_DOMAIN;
+    use ms_queues::{MemBudget, NativePlatform};
+
+    const LIMIT: u64 = 8;
+    const QUEUES: usize = 3;
+    let budget = Arc::new(MemBudget::new(&NativePlatform::new(), LIMIT));
+    let queues: Arc<Vec<SegQueue<u64>>> = Arc::new(
+        (0..QUEUES)
+            .map(|_| {
+                SegQueue::with_config_and_budget(
+                    SegConfig {
+                        seg_size: 2,
+                        ..SegConfig::DEFAULT
+                    },
+                    Arc::clone(&budget),
+                )
+            })
+            .collect(),
+    );
+    assert_eq!(budget.reserved(), QUEUES as u64, "one dummy per queue");
+
+    let accepted = Arc::new(AtomicU64::new(0));
+    let consumed = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..3_u64 {
+        let queues = Arc::clone(&queues);
+        let budget = Arc::clone(&budget);
+        let accepted = Arc::clone(&accepted);
+        let consumed = Arc::clone(&consumed);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..2_000_u64 {
+                let q = &queues[((t + i) % QUEUES as u64) as usize];
+                match q.try_enqueue((t << 32) | i) {
+                    Ok(()) => {
+                        accepted.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(_) => {
+                        // Exhausted: make room instead of spinning.
+                        if q.dequeue().is_some() {
+                            consumed.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+                if i % 5 == 0 && q.dequeue().is_some() {
+                    consumed.fetch_add(1, Ordering::SeqCst);
+                }
+                let reserved = budget.reserved();
+                assert!(
+                    reserved <= LIMIT,
+                    "live + pooled segments ({reserved}) exceeded the budget ({LIMIT})"
+                );
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    // Conservation: everything accepted is still retrievable.
+    let mut drained = 0_u64;
+    for q in queues.iter() {
+        while q.dequeue().is_some() {
+            drained += 1;
+        }
+    }
+    assert_eq!(
+        drained + consumed.load(Ordering::SeqCst),
+        accepted.load(Ordering::SeqCst),
+        "values lost or duplicated under budget churn"
+    );
+    assert!(budget.peak() <= LIMIT, "peak watermark respected the limit");
+    assert_eq!(budget.overruns(), 0, "no infallible path overran the limit");
+
+    // Drained process returns to the floor: shrink the pools (reclaimers
+    // registered by `with_config_and_budget`) and flush hazard
+    // retirements — including orphans from the exited workers.
+    budget.reclaim();
+    GLOBAL_DOMAIN.eager_scan();
+    assert_eq!(
+        budget.reserved(),
+        QUEUES as u64,
+        "after drain + reclaim only the dummies stay resident"
+    );
+    drop(queues);
+    GLOBAL_DOMAIN.eager_scan();
+    assert_eq!(budget.reserved(), 0, "dropping the queues frees the floor");
+}
+
+/// Queues created and dropped mid-test must return every unit they took:
+/// each round builds a fresh queue on the same shared budget, drives it to
+/// denial, then drops it with values still inside — the drop must release
+/// both the values (exactly once) and the budget units.
+#[test]
+fn queues_created_and_dropped_mid_test_release_their_units() {
+    use ms_queues::hazard::GLOBAL_DOMAIN;
+    use ms_queues::{MemBudget, NativePlatform};
+
+    const LIMIT: u64 = 4;
+    let budget = Arc::new(MemBudget::new(&NativePlatform::new(), LIMIT));
+    for round in 0..5_u64 {
+        let drops = Arc::new(AtomicU64::new(0));
+        let queue: SegQueue<Tracked> = SegQueue::with_config_and_budget(
+            SegConfig {
+                seg_size: 2,
+                ..SegConfig::DEFAULT
+            },
+            Arc::clone(&budget),
+        );
+        let mut accepted = 0_u64;
+        while queue.try_enqueue(Tracked::new(&drops, accepted)).is_ok() {
+            accepted += 1;
+        }
+        assert_eq!(
+            accepted,
+            LIMIT * 2,
+            "round {round}: {LIMIT} segments x 2 slots fill exactly"
+        );
+        assert!(budget.reserved() <= LIMIT, "round {round}");
+        // Take a few out, leave the rest in-flight for Drop to handle.
+        for _ in 0..3 {
+            drop(queue.dequeue());
+        }
+        drop(queue);
+        GLOBAL_DOMAIN.eager_scan();
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            accepted + 1, // the rejected probe value also dropped
+            "round {round}: mid-flight values must drop exactly once"
+        );
+        assert_eq!(
+            budget.reserved(),
+            0,
+            "round {round}: a dropped queue returns every unit"
+        );
+    }
+    assert!(budget.peak() <= LIMIT);
+    assert!(budget.denials() >= 5, "each round was driven to denial");
+}
+
 #[test]
 fn queues_dropped_mid_flight_leak_nothing() {
     let drops = Arc::new(AtomicU64::new(0));
