@@ -1,6 +1,10 @@
 //! [`NodeArena`]: fixed-capacity nodes + Treiber-stack free list.
 
+use std::sync::Arc;
+
 use msq_platform::{AtomicWord, Platform, Tagged, NULL_INDEX};
+
+use crate::budget::MemBudget;
 
 /// A fixed pool of list nodes shared by one concurrent data structure.
 ///
@@ -33,6 +37,9 @@ pub struct NodeArena<P: Platform> {
     nexts: Vec<P::Cell>,
     free_top: P::Cell,
     capacity: u32,
+    /// Budget the whole pool is accounted against (one unit per node,
+    /// reserved for the arena's lifetime), if any.
+    budget: Option<Arc<MemBudget<P>>>,
 }
 
 impl<P: Platform> NodeArena<P> {
@@ -58,7 +65,34 @@ impl<P: Platform> NodeArena<P> {
             nexts,
             free_top,
             capacity,
+            budget: None,
         }
+    }
+
+    /// As [`NodeArena::new`], metering the pool against `budget`: the
+    /// whole `capacity` is preallocated and resident for the arena's
+    /// lifetime, so that many units are reserved up front (one per node)
+    /// and released when the arena drops.
+    ///
+    /// The constructor is infallible, so the reservation uses
+    /// [`MemBudget::force_reserve`]: an arena larger than the remaining
+    /// budget is *counted as an overrun*, not denied — the paper's queues
+    /// preallocate their free lists unconditionally, and the budget's job
+    /// here is to make that residency observable under `MSQ_MEM_BUDGET`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 or does not fit in a [`Tagged`] index.
+    pub fn with_budget(platform: &P, capacity: u32, budget: Arc<MemBudget<P>>) -> Self {
+        budget.force_reserve(u64::from(capacity));
+        let mut arena = Self::new(platform, capacity);
+        arena.budget = Some(budget);
+        arena
+    }
+
+    /// The budget this arena is metered against, if any.
+    pub fn budget(&self) -> Option<&Arc<MemBudget<P>>> {
+        self.budget.as_ref()
     }
 
     /// Number of nodes in the pool.
@@ -150,6 +184,17 @@ impl<P: Platform> NodeArena<P> {
     /// Direct access to the value-word cell.
     pub fn value_cell(&self, node: u32) -> &P::Cell {
         &self.values[node as usize]
+    }
+}
+
+impl<P: Platform> Drop for NodeArena<P> {
+    fn drop(&mut self) {
+        // Credit the pool back only now that no node can be reached: the
+        // arena owns every cell, so dropping it is the unreachability proof
+        // the budget discipline requires.
+        if let Some(budget) = &self.budget {
+            budget.release(u64::from(self.capacity));
+        }
     }
 }
 

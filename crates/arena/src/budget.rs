@@ -206,6 +206,57 @@ impl<P: Platform> MemBudget<P> {
             std::hint::spin_loop();
         }
     }
+
+    /// As [`MemBudget::try_reserve`], but returns an RAII [`Reservation`]
+    /// guard instead of a bare flag.
+    ///
+    /// The units flow back to the budget when the guard drops — including
+    /// a drop during unwinding, so a process that dies between reserving
+    /// and attaching the memory (the fault suite's kill-mid-allocation
+    /// scenario) leaks nothing. Call [`Reservation::commit`] once the
+    /// allocated object has taken ownership of the units (its own drop
+    /// path must then release them).
+    pub fn try_reserve_guard(self: &Arc<Self>, units: u64) -> Option<Reservation<P>> {
+        self.try_reserve(units).then(|| Reservation {
+            budget: Arc::clone(self),
+            units,
+        })
+    }
+}
+
+/// RAII guard for reserved budget units: releases them on drop unless
+/// [`Reservation::commit`]ted. See [`MemBudget::try_reserve_guard`].
+pub struct Reservation<P: Platform> {
+    budget: Arc<MemBudget<P>>,
+    units: u64,
+}
+
+impl<P: Platform> Reservation<P> {
+    /// Units this guard still holds.
+    pub fn units(&self) -> u64 {
+        self.units
+    }
+
+    /// Transfers ownership of the units to the caller: the guard releases
+    /// nothing on drop, and whoever owns the allocated memory must
+    /// [`MemBudget::release`] when it becomes unreachable.
+    pub fn commit(mut self) {
+        self.units = 0;
+    }
+}
+
+impl<P: Platform> Drop for Reservation<P> {
+    fn drop(&mut self) {
+        if self.units > 0 {
+            self.budget.release(self.units);
+        }
+    }
+}
+
+impl<P: Platform> std::fmt::Debug for Reservation<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Reservation({} units)", self.units)
+    }
 }
 
 impl MemBudget<NativePlatform> {

@@ -34,6 +34,6 @@ mod seg;
 mod valois;
 
 pub use arena::NodeArena;
-pub use budget::{MemBudget, Reclaimer};
+pub use budget::{MemBudget, Reclaimer, Reservation};
 pub use seg::SegArena;
 pub use valois::RcArena;

@@ -77,6 +77,9 @@ pub struct SegArena<P: Platform> {
     /// segment unreachable-by-construction, so crediting there respects
     /// the credit-after-unreachability rule).
     budget: Option<Arc<MemBudget<P>>>,
+    /// Kept for the `seg:alloc:reserved` fault point in [`SegArena::alloc`]
+    /// (a no-op outside the simulator).
+    platform: P,
 }
 
 impl<P: Platform> SegArena<P> {
@@ -152,6 +155,7 @@ impl<P: Platform> SegArena<P> {
             seg_count,
             seg_size,
             budget,
+            platform: platform.clone(),
         }
     }
 
@@ -178,15 +182,24 @@ impl<P: Platform> SegArena<P> {
     /// `next` word holds a stale free-list link that callers must point at
     /// `NULL_INDEX` (via [`SegArena::set_next`]) before publishing.
     pub fn alloc(&self) -> Option<u32> {
-        if let Some(budget) = &self.budget {
-            if !budget.try_reserve(1) {
-                return None;
-            }
-        }
+        // Reserve through the RAII guard so the unit cannot leak: until
+        // `commit`, any exit from this function — including the unwind of
+        // a process killed at the fault point below — credits it back.
+        let reservation = match &self.budget {
+            Some(budget) => match budget.try_reserve_guard(1) {
+                Some(r) => Some(r),
+                None => return None,
+            },
+            None => None,
+        };
+        // The unit is booked but no segment is attached yet: the window
+        // the budget-conservation fault tests target.
+        self.platform.fault_point("seg:alloc:reserved");
         let popped = self.pop_free();
-        if popped.is_none() {
-            if let Some(budget) = &self.budget {
-                budget.release(1);
+        if popped.is_some() {
+            if let Some(r) = reservation {
+                // The segment now carries the unit; `free` releases it.
+                r.commit();
             }
         }
         popped

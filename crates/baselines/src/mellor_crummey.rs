@@ -94,7 +94,11 @@ impl<P: Platform> ConcurrentWordQueue for McQueue<P> {
         // only freed once its next link is non-null), so the store below is
         // always to a live node.
         let prev = self.tail.swap(u64::from(node)) as u32;
-        // ... but until this store lands, the list is torn at `prev`.
+        // ... but until this store lands, the list is torn at `prev`: a
+        // process halted or killed in this window blocks every dequeuer
+        // that reaches the tear — lock-free in mechanism, blocking in
+        // behaviour, exactly as the MS paper characterizes it.
+        self.platform.fault_point("mc:enq:window");
         self.arena.set_next(prev, node);
         Ok(())
     }

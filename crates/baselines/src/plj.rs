@@ -126,6 +126,10 @@ impl<P: Platform> ConcurrentWordQueue for PljQueue<P> {
                 continue;
             }
             if self.arena.cas_next(tail.index(), next, node) {
+                // Linked but Tail not yet swung: the snapshot's helping
+                // rule lets any other process finish this enqueue, so a
+                // process halted or killed here blocks nobody.
+                self.platform.fault_point("plj:enq:window");
                 // Linked; complete our own enqueue (any helper may already
                 // have done so).
                 self.tail.cas(tail.raw(), tail.with_index(node).raw());

@@ -77,6 +77,10 @@ impl<P: Platform> ConcurrentWordQueue for SingleLockQueue<P> {
         self.arena.set_value(node, value);
         self.arena.set_next(node, NULL_INDEX);
         self.lock.lock(&self.platform);
+        // Holding the only lock: a process halted or killed here blocks
+        // the entire queue — the behaviour the fault suite's watchdog
+        // detects and asserts for the blocking baselines.
+        self.platform.fault_point("single-lock:enq:locked");
         let tail = self.tail.load() as u32;
         self.arena.set_next(tail, node);
         self.tail.store(u64::from(node));
@@ -86,6 +90,8 @@ impl<P: Platform> ConcurrentWordQueue for SingleLockQueue<P> {
 
     fn dequeue(&self) -> Option<u64> {
         self.lock.lock(&self.platform);
+        // Death while holding the lock blocks every other process.
+        self.platform.fault_point("single-lock:deq:locked");
         let node = self.head.load() as u32;
         let next = self.arena.next(node);
         if next.is_null() {

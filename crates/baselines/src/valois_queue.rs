@@ -107,6 +107,10 @@ impl<P: Platform> ConcurrentWordQueue for ValoisQueue<P> {
                 // Count the prospective link before publishing it.
                 self.rc.add_ref(node);
                 if nodes.cas_next(tail.index(), next, node) {
+                    // Linked but Tail not yet swung: a process halted here
+                    // leaves a lagging Tail any later enqueue can help
+                    // forward — non-blocking, so faults here delay nobody.
+                    self.platform.fault_point("valois:enq:window");
                     // Inserted. Try to swing Tail to the new node; on
                     // failure Tail simply lags (the defining Valois
                     // behaviour) until a later enqueue helps it forward.

@@ -1,0 +1,276 @@
+//! Fault-injection acceptance numbers for the progress guarantees →
+//! `BENCH_fault.json`.
+//!
+//! The paper's core robustness claim (Section 1, borne out by Figures 4–5)
+//! is that a non-blocking queue keeps making global progress when a
+//! process is halted in the middle of its operation, while lock-based
+//! queues make everyone wait. This bench turns the claim into numbers:
+//!
+//! 1. **Stall sweep**: for each of the paper's six algorithms, process 0
+//!    is deterministically stalled at the algorithm's *enqueue critical
+//!    window* (`Algorithm::enqueue_fault_label`) for 0 / 100 µs / 400 µs /
+//!    1.6 ms, several times over the run. The reported metric is
+//!    **survivor completion time** — the virtual time at which the last
+//!    *non-victim* process finishes its share. Non-blocking queues must
+//!    stay flat (survivors sail past the stalled victim, helping its
+//!    half-done enqueue along); the single-lock and Mellor-Crummey queues
+//!    collapse by roughly (number of stalls) x (stall length), because
+//!    every survivor waits out every stall — the Figure 4–5 ordering.
+//! 2. **Death cells**: process 0 is *killed* inside the same window. On
+//!    the new non-blocking queue every survivor completes and the queue
+//!    drains (one stranded value from the victim's linearized enqueue);
+//!    on the single-lock queue the virtual-time watchdog reports the
+//!    survivors permanently blocked — the expected, asserted outcome.
+//!
+//! Run from the workspace root: `cargo run --release -p msq-bench --bin
+//! faultbench`. Writes `BENCH_fault.json` in the current directory. Pass
+//! `--smoke` for a scaled-down CI sanity run (same cells, same shape).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use msq_harness::{run_simulated_faulted, Algorithm, WorkloadConfig};
+use msq_platform::Platform;
+use msq_sim::{FaultPlan, SimConfig, Simulation};
+
+/// Simulated processors (dedicated: one process each, as in Figure 3's
+/// machine model — the *faults* supply the adverse scheduling here).
+const PROCESSORS: usize = 4;
+
+/// Enqueue/dequeue pairs across all processes.
+const PAIRS: u64 = 1_600;
+const SMOKE_PAIRS: u64 = 320;
+
+/// The paper's ~6 µs of "other work" between queue operations.
+const OTHER_WORK_NS: u64 = 6_000;
+
+/// Stalls injected per run, and the victim's window-hit stride between
+/// them (occurrences 0, 8, 16, 24 of the critical-window label).
+const NUM_STALLS: u64 = 4;
+const STALL_STRIDE: u64 = 8;
+
+/// Stall lengths swept, in virtual nanoseconds.
+const STALL_LENGTHS: [u64; 4] = [0, 100_000, 400_000, 1_600_000];
+
+/// Virtual-time watchdog for the death cells (far above any faultless
+/// completion time at these scales).
+const WATCHDOG_NS: u64 = 400_000_000;
+
+struct StallCell {
+    algorithm: Algorithm,
+    stall_ns: u64,
+    elapsed_ns: u64,
+    survivor_completion_ns: u64,
+    stalls_fired: u64,
+}
+
+/// One stall-sweep run: pid 0 stalls `NUM_STALLS` times at the
+/// algorithm's enqueue critical window; everyone runs the Section 4
+/// workload. Returns survivor (non-victim) completion alongside elapsed.
+fn stall_cell(algorithm: Algorithm, pairs: u64, stall_ns: u64) -> StallCell {
+    let mut plan = FaultPlan::new();
+    if stall_ns > 0 {
+        for k in 0..NUM_STALLS {
+            plan = plan.stall_at_label(
+                0,
+                algorithm.enqueue_fault_label(),
+                k * STALL_STRIDE,
+                stall_ns,
+            );
+        }
+    }
+    let sim = Simulation::with_faults(
+        SimConfig {
+            processors: PROCESSORS,
+            ..SimConfig::default()
+        },
+        plan,
+    );
+    let platform = sim.platform();
+    let queue = algorithm.build(&platform, 4_096);
+    let report = sim.run({
+        let queue = Arc::clone(&queue);
+        let platform = platform.clone();
+        move |info| {
+            let n = info.num_processes as u64;
+            let my_pairs = pairs / n + u64::from((info.pid as u64) < pairs % n);
+            for i in 0..my_pairs {
+                let value = ((info.pid as u64) << 40) | i;
+                while queue.enqueue(value).is_err() {
+                    platform.cpu_relax();
+                }
+                platform.delay(OTHER_WORK_NS);
+                while queue.dequeue().is_none() {
+                    platform.cpu_relax();
+                }
+                platform.delay(OTHER_WORK_NS);
+            }
+        }
+    });
+    let survivor_completion_ns = report
+        .per_process
+        .iter()
+        .filter(|p| p.pid != 0)
+        .map(|p| p.finished_at_ns)
+        .max()
+        .unwrap_or(0);
+    StallCell {
+        algorithm,
+        stall_ns,
+        elapsed_ns: report.elapsed_ns,
+        survivor_completion_ns,
+        stalls_fired: report.stalls_injected,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let pairs = if smoke { SMOKE_PAIRS } else { PAIRS };
+
+    // --- Cell 1: the stall sweep over the paper's six. ---
+    let mut cells: Vec<StallCell> = Vec::new();
+    for algorithm in Algorithm::ALL {
+        for stall_ns in STALL_LENGTHS {
+            let cell = stall_cell(algorithm, pairs, stall_ns);
+            eprintln!(
+                "stall {:>9} ns  {:<16} survivors done at {:>12} ns (elapsed {:>12} ns, {} stalls fired)",
+                cell.stall_ns,
+                cell.algorithm.label(),
+                cell.survivor_completion_ns,
+                cell.elapsed_ns,
+                cell.stalls_fired
+            );
+            cells.push(cell);
+        }
+    }
+    let baseline = |alg: Algorithm| {
+        cells
+            .iter()
+            .find(|c| c.algorithm == alg && c.stall_ns == 0)
+            .expect("baseline cell")
+            .survivor_completion_ns
+    };
+    let at_max = |alg: Algorithm| {
+        cells
+            .iter()
+            .find(|c| c.algorithm == alg && c.stall_ns == *STALL_LENGTHS.last().unwrap())
+            .expect("max-stall cell")
+            .survivor_completion_ns
+    };
+
+    // --- Cell 2: death in the critical window. ---
+    let workload = WorkloadConfig {
+        pairs_total: pairs,
+        other_work_ns: OTHER_WORK_NS,
+        capacity: 4_096,
+        mem_budget: None,
+    };
+    let faulted_cfg = SimConfig {
+        processors: PROCESSORS,
+        watchdog_ns: WATCHDOG_NS,
+        ..SimConfig::default()
+    };
+    let kill_ms = run_simulated_faulted(
+        Algorithm::NewNonBlocking,
+        faulted_cfg,
+        &workload,
+        FaultPlan::new().kill_at_label(0, Algorithm::NewNonBlocking.enqueue_fault_label(), 0),
+    );
+    let kill_lock = run_simulated_faulted(
+        Algorithm::SingleLock,
+        faulted_cfg,
+        &workload,
+        FaultPlan::new().kill_at_label(0, Algorithm::SingleLock.enqueue_fault_label(), 0),
+    );
+    eprintln!(
+        "kill new-nonblocking: killed {:?}, blocked {:?}, drained {:?}, {} pairs completed",
+        kill_ms.killed, kill_ms.blocked, kill_ms.drained, kill_ms.pairs_completed
+    );
+    eprintln!(
+        "kill single-lock:     killed {:?}, blocked {:?} (watchdog), {} pairs completed",
+        kill_lock.killed, kill_lock.blocked, kill_lock.pairs_completed
+    );
+
+    // --- Acceptance. ---
+    let max_stall = *STALL_LENGTHS.last().unwrap();
+    let injected = NUM_STALLS * max_stall;
+    // Non-blocking survivors must be (nearly) oblivious to the victim's
+    // stalls. Smoke scale leaves fixed costs a bigger share, so its bound
+    // is looser.
+    let flat_bound = if smoke { 1.20 } else { 1.10 };
+    let nonblocking_flat = Algorithm::ALL
+        .into_iter()
+        .filter(|a| a.is_nonblocking())
+        .all(|a| (at_max(a) as f64) <= (baseline(a) as f64) * flat_bound);
+    // Blocking survivors wait out the stalls: their excess must reflect a
+    // sizable share of the injected stall time.
+    let collapsers = [Algorithm::SingleLock, Algorithm::MellorCrummey];
+    let blocking_collapses = collapsers
+        .into_iter()
+        .all(|a| at_max(a).saturating_sub(baseline(a)) >= injected / 2);
+    // The Figure 4–5 ordering at the longest stall: the new non-blocking
+    // queue beats both collapsing baselines outright.
+    let figure_ordering = collapsers
+        .into_iter()
+        .all(|a| at_max(Algorithm::NewNonBlocking) < at_max(a));
+    let all_stalls_fired = cells
+        .iter()
+        .all(|c| c.stalls_fired == if c.stall_ns == 0 { 0 } else { NUM_STALLS });
+    let kill_nonblocking_survives =
+        kill_ms.killed == vec![0] && kill_ms.survivors_completed() && kill_ms.drained == Some(1);
+    let kill_single_lock_blocks = kill_lock.killed == vec![0] && !kill_lock.survivors_completed();
+    eprintln!(
+        "acceptance: nonblocking_flat={nonblocking_flat} blocking_collapses={blocking_collapses} \
+         figure_ordering={figure_ordering} all_stalls_fired={all_stalls_fired} \
+         kill_nonblocking_survives={kill_nonblocking_survives} \
+         kill_single_lock_blocks={kill_single_lock_blocks}"
+    );
+
+    // --- JSON report. ---
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"deterministic fault injection: survivor completion time vs critical-window stall length (non-blocking flat, lock-based collapsing), plus mid-operation death cells\","
+    );
+    let _ = writeln!(json, "  \"processors\": {PROCESSORS},");
+    let _ = writeln!(json, "  \"workload_pairs\": {pairs},");
+    let _ = writeln!(json, "  \"stalls_per_run\": {NUM_STALLS},");
+    let _ = writeln!(json, "  \"victim\": 0,");
+    json.push_str("  \"stall_sweep\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let degradation = c.survivor_completion_ns as f64 / baseline(c.algorithm) as f64;
+        let _ = writeln!(
+            json,
+            "    {{\"algorithm\": \"{}\", \"nonblocking\": {}, \"stall_ns\": {}, \"survivor_completion_virtual_ns\": {}, \"elapsed_virtual_ns\": {}, \"stalls_fired\": {}, \"survivor_degradation\": {:.4}}}{}",
+            c.algorithm.label(),
+            c.algorithm.is_nonblocking(),
+            c.stall_ns,
+            c.survivor_completion_ns,
+            c.elapsed_ns,
+            c.stalls_fired,
+            degradation,
+            if i + 1 == cells.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"death\": {{\"new_nonblocking\": {{\"killed\": {:?}, \"blocked\": {:?}, \"drained\": {}, \"pairs_completed\": {}, \"max_completion_virtual_ns\": {}}}, \"single_lock\": {{\"killed\": {:?}, \"blocked\": {:?}, \"pairs_completed\": {}}}}},",
+        kill_ms.killed,
+        kill_ms.blocked,
+        kill_ms.drained.map_or_else(|| "null".into(), |d| d.to_string()),
+        kill_ms.pairs_completed,
+        kill_ms.max_completion_ns,
+        kill_lock.killed,
+        kill_lock.blocked,
+        kill_lock.pairs_completed
+    );
+    let _ = writeln!(
+        json,
+        "  \"acceptance\": {{\"nonblocking_flat_bound\": {flat_bound}, \"nonblocking_flat\": {nonblocking_flat}, \"blocking_collapses\": {blocking_collapses}, \"figure_ordering\": {figure_ordering}, \"all_stalls_fired\": {all_stalls_fired}, \"kill_nonblocking_survives\": {kill_nonblocking_survives}, \"kill_single_lock_blocks\": {kill_single_lock_blocks}}}"
+    );
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_fault.json", &json).expect("write BENCH_fault.json");
+    println!("{json}");
+}

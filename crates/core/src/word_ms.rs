@@ -103,6 +103,11 @@ impl<P: Platform> ConcurrentWordQueue for WordMsQueue<P> {
             if next.is_null() {
                 // E9: try to link the node at the end of the list.
                 if self.arena.cas_next(tail.index(), next, node) {
+                    // The paper's critical window: the node is linked (the
+                    // enqueue has linearized) but Tail still lags. A process
+                    // halted — or killed — here must not block anyone: E12/D9
+                    // let every other process swing Tail on its behalf.
+                    self.platform.fault_point("msq:enq:window");
                     // E13: enqueue done; try to swing Tail to the node.
                     self.tail.cas(tail.raw(), tail.with_index(node).raw());
                     return Ok(());
@@ -148,6 +153,9 @@ impl<P: Platform> ConcurrentWordQueue for WordMsQueue<P> {
                     .head
                     .cas(head.raw(), head.with_index(next.index()).raw())
                 {
+                    // Dequeue linearized; the old dummy is not yet freed. A
+                    // death here leaks one arena node but blocks nobody.
+                    self.platform.fault_point("msq:deq:window");
                     // D14: it is now safe to free the old dummy node.
                     self.arena.free(head.index());
                     // D15: dequeue succeeded.

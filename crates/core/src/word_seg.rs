@@ -269,6 +269,11 @@ impl<P: Platform> ConcurrentWordQueue for WordSegQueue<P> {
                 .store(Tagged::new(1, fgtag).raw());
             // E9: link the segment at the end of the list.
             if self.arena.cas_next(seg, next, fresh) {
+                // Linked but Tail not yet swung — the E12 helping rule
+                // lets any process finish it, so a fault here blocks
+                // nobody (the per-slot WRITING window is the exception,
+                // covered by the poisoning protocol).
+                self.platform.fault_point("seg:enq:window");
                 // E13: enqueue done; try to swing Tail to the segment.
                 self.tail.cas(tail_raw, tail.with_index(fresh).raw());
                 return Ok(());
@@ -329,6 +334,10 @@ impl<P: Platform> ConcurrentWordQueue for WordSegQueue<P> {
                     self.tail.cas(tail_raw, tail.with_index(next.index()).raw());
                 }
                 if self.head.cas(head_raw, head.with_index(next.index()).raw()) {
+                    // Head is off the segment but it is not yet recycled:
+                    // a death here leaks one segment (and its budget
+                    // unit), blocking nobody.
+                    self.platform.fault_point("seg:reclaim");
                     // D14 analogue: safe to recycle — Tail was helped off,
                     // and every stale process fails its generation check.
                     self.arena.free(seg);

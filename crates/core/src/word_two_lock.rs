@@ -1,6 +1,8 @@
 //! Figure 2: the two-lock concurrent queue.
 
-use msq_arena::NodeArena;
+use std::sync::Arc;
+
+use msq_arena::{MemBudget, NodeArena};
 use msq_platform::{
     AtomicWord, BackoffConfig, ConcurrentWordQueue, Platform, QueueFull, NULL_INDEX,
 };
@@ -56,6 +58,36 @@ impl<P: Platform> WordTwoLockQueue<P> {
             platform,
             capacity.checked_add(1).expect("capacity overflow"),
         );
+        Self::from_arena(platform, arena, backoff)
+    }
+
+    /// As [`WordTwoLockQueue::with_capacity`], metering the node pool (one
+    /// unit per node, `capacity + 1` total for the dummy) against `budget`
+    /// for the queue's lifetime.
+    ///
+    /// The pool is preallocated unconditionally — as in Figure 2 — so the
+    /// reservation goes through [`MemBudget::force_reserve`]: a queue larger
+    /// than the remaining budget shows up in [`MemBudget::overruns`] rather
+    /// than failing construction. All units are credited back when the queue
+    /// drops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity + 1` does not fit a tagged index.
+    pub fn with_capacity_and_budget(
+        platform: &P,
+        capacity: u32,
+        budget: Arc<MemBudget<P>>,
+    ) -> Self {
+        let arena = NodeArena::with_budget(
+            platform,
+            capacity.checked_add(1).expect("capacity overflow"),
+            budget,
+        );
+        Self::from_arena(platform, arena, BackoffConfig::DEFAULT)
+    }
+
+    fn from_arena(platform: &P, arena: NodeArena<P>, backoff: BackoffConfig) -> Self {
         // initialize(Q): one dummy node; Head and Tail point to it; locks free.
         let dummy = arena.alloc().expect("fresh arena");
         arena.set_next(dummy, NULL_INDEX);
@@ -85,6 +117,10 @@ impl<P: Platform> ConcurrentWordQueue for WordTwoLockQueue<P> {
         self.arena.set_next(node, NULL_INDEX);
         // Acquire T_lock in order to access Tail.
         self.t_lock.lock(&self.platform);
+        // Holding T_lock: a process halted or killed here blocks every
+        // other enqueuer forever — the blocking behaviour Figures 4–5
+        // punish, and what the fault suite asserts via the watchdog.
+        self.platform.fault_point("two-lock:enq:locked");
         let tail = self.tail.load() as u32;
         // Link the node at the end of the list, then swing Tail to it.
         self.arena.set_next(tail, node);
@@ -96,6 +132,8 @@ impl<P: Platform> ConcurrentWordQueue for WordTwoLockQueue<P> {
     fn dequeue(&self) -> Option<u64> {
         // Acquire H_lock in order to access Head.
         self.h_lock.lock(&self.platform);
+        // Holding H_lock: death here blocks every other dequeuer.
+        self.platform.fault_point("two-lock:deq:locked");
         let node = self.head.load() as u32;
         let new_head = self.arena.next(node);
         if new_head.is_null() {

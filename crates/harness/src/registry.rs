@@ -104,16 +104,42 @@ impl Algorithm {
         )
     }
 
+    /// The fault-point label inside the algorithm's *enqueue* critical
+    /// window (DESIGN.md §11 taxonomy): the spot where a stalled, preempted
+    /// or killed process does maximal damage. For the non-blocking queues
+    /// this is the linked-but-tail-lagging window that helping rules cover;
+    /// for the lock-based queues it is "holding the enqueue lock"; for
+    /// Mellor-Crummey it is the torn-tail window between its `swap` and
+    /// link store. The fault bench and tests target these labels.
+    ///
+    /// Note the segment-based extensions only reach their window once per
+    /// segment (the fast path is a `fetch_add` with no window at all), so
+    /// faults aimed there fire correspondingly rarely.
+    pub fn enqueue_fault_label(self) -> &'static str {
+        match self {
+            Algorithm::SingleLock => "single-lock:enq:locked",
+            Algorithm::MellorCrummey => "mc:enq:window",
+            Algorithm::Valois => "valois:enq:window",
+            Algorithm::NewTwoLock => "two-lock:enq:locked",
+            Algorithm::PljNonBlocking => "plj:enq:window",
+            Algorithm::NewNonBlocking => "msq:enq:window",
+            Algorithm::SegBatched | Algorithm::Sharded => "seg:enq:window",
+        }
+    }
+
     /// Constructs the queue over any platform with the given capacity.
     pub fn build<P: Platform>(self, platform: &P, capacity: u32) -> Arc<dyn ConcurrentWordQueue> {
         self.build_with_budget(platform, capacity, None)
     }
 
-    /// As [`Algorithm::build`], optionally metering segment residency
-    /// against a shared [`MemBudget`]. Only the segment-based extensions
-    /// ([`Algorithm::SegBatched`], [`Algorithm::Sharded`]) allocate
-    /// segments, so only they consult the budget; the paper's six
-    /// allocate node arenas up front and ignore it.
+    /// As [`Algorithm::build`], optionally metering memory residency
+    /// against a shared [`MemBudget`]. The segment-based extensions
+    /// ([`Algorithm::SegBatched`], [`Algorithm::Sharded`]) reserve and
+    /// release units segment by segment; the two-lock queue
+    /// ([`Algorithm::NewTwoLock`]) force-reserves its whole preallocated
+    /// node pool for the queue's lifetime (so an over-budget pool surfaces
+    /// in [`MemBudget::overruns`]). The remaining paper algorithms allocate
+    /// node arenas up front and do not yet consult the budget.
     pub fn build_with_budget<P: Platform>(
         self,
         platform: &P,
@@ -130,6 +156,9 @@ impl Algorithm {
                     capacity,
                     DEFAULT_SHARDS,
                     budget,
+                )),
+                Algorithm::NewTwoLock => Arc::new(WordTwoLockQueue::with_capacity_and_budget(
+                    platform, capacity, budget,
                 )),
                 other => other.build_with_budget(platform, capacity, None),
             };

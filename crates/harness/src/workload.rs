@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use msq_arena::MemBudget;
 use msq_platform::{ConcurrentWordQueue, NativePlatform, Platform};
-use msq_sim::{SimConfig, Simulation};
+use msq_sim::{FaultPlan, SimConfig, Simulation};
 
 use crate::registry::Algorithm;
 
@@ -207,6 +207,135 @@ pub fn run_simulated(
         preemptions: report.preemptions,
         peak_resident_segments: budget.as_ref().map(|b| b.peak()),
         budget_denials: budget.as_ref().map(|b| b.denials()),
+    }
+}
+
+/// One faulted experiment: the workload of [`run_simulated`] plus an
+/// injected [`FaultPlan`], with the per-run progress verdicts the fault
+/// suite and `faultbench` assert on.
+#[derive(Clone, Debug)]
+pub struct FaultedPoint {
+    /// The unfaulted-style measurement (elapsed/net time, miss rate, …).
+    /// For runs with killed or blocked processes, `pairs` still records
+    /// the *requested* total; see `pairs_completed` for what actually ran.
+    pub point: MeasuredPoint,
+    /// Enqueue/dequeue pairs completed by processes that finished.
+    pub pairs_completed: u64,
+    /// Processes killed by [`msq_sim::FaultAction::Kill`].
+    pub killed: Vec<usize>,
+    /// Processes the virtual-time watchdog judged permanently blocked.
+    pub blocked: Vec<usize>,
+    /// Stalls injected by the plan.
+    pub stalls_injected: u64,
+    /// Preemptions injected by the plan.
+    pub preempts_injected: u64,
+    /// Latest virtual completion time over surviving processes — the
+    /// fault-latency metric (how long the last survivor needed to get out
+    /// from under the fault).
+    pub max_completion_ns: u64,
+    /// Values drained from the queue after the run, when draining was
+    /// safe (`None` when a kill on a blocking queue made the post-run
+    /// queue state unapproachable).
+    pub drained: Option<u64>,
+}
+
+impl FaultedPoint {
+    /// The progress verdict: every process not deliberately killed ran to
+    /// completion — the paper's non-blocking property under this fault.
+    pub fn survivors_completed(&self) -> bool {
+        self.blocked.is_empty()
+    }
+}
+
+/// Runs the workload for `algorithm` on a simulated machine with `plan`'s
+/// faults injected, reporting per-run progress alongside the timing.
+///
+/// Unlike [`run_simulated`] this does not assert the queue drains — a
+/// killed process legitimately strands values — and it only *attempts*
+/// the post-run drain when it cannot hang (no kills, or a non-blocking
+/// queue). Set [`SimConfig::watchdog_ns`] when the plan can block a
+/// lock-based queue, or the run itself will never terminate.
+pub fn run_simulated_faulted(
+    algorithm: Algorithm,
+    sim_config: SimConfig,
+    workload: &WorkloadConfig,
+    plan: FaultPlan,
+) -> FaultedPoint {
+    let has_kills = plan.has_kills();
+    let sim = Simulation::with_faults(sim_config, plan);
+    let platform = sim.platform();
+    let budget = workload
+        .mem_budget
+        .map(|limit| Arc::new(MemBudget::new(&platform, limit)));
+    let queue = algorithm.build_with_budget(&platform, workload.capacity, budget.clone());
+    let n = sim.num_processes();
+    let pairs_total = workload.pairs_total;
+    let other_work_ns = workload.other_work_ns;
+    let pairs_done = Arc::new(
+        (0..n)
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect::<Vec<_>>(),
+    );
+    let report = sim.run({
+        let queue = Arc::clone(&queue);
+        let platform = platform.clone();
+        let pairs_done = Arc::clone(&pairs_done);
+        move |info| {
+            let my_pairs = share(pairs_total, info.num_processes, info.pid);
+            for i in 0..my_pairs {
+                let value = ((info.pid as u64) << 40) | i;
+                while queue.enqueue(value).is_err() {
+                    platform.cpu_relax();
+                }
+                platform.delay(other_work_ns);
+                while queue.dequeue().is_none() {
+                    platform.cpu_relax();
+                }
+                platform.delay(other_work_ns);
+                // Recorded per pair so a killed process's completed work
+                // still counts (its closure never returns).
+                pairs_done[info.pid].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    });
+    // Draining a blocking queue whose lock died held would spin forever
+    // on the *native* caller thread (no watchdog out here); skip it.
+    let drain_is_safe = !has_kills || algorithm.is_nonblocking();
+    let drained = if drain_is_safe && report.blocked.is_empty() {
+        let mut count = 0u64;
+        while queue.dequeue().is_some() {
+            count += 1;
+        }
+        Some(count)
+    } else {
+        None
+    };
+    let pairs_completed = pairs_done
+        .iter()
+        .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+        .sum();
+    let per_processor_other_work = (pairs_total / sim_config.processors as u64) * 2 * other_work_ns;
+    FaultedPoint {
+        point: MeasuredPoint {
+            algorithm,
+            processors: sim_config.processors,
+            processes: n,
+            pairs: pairs_total,
+            elapsed_ns: report.elapsed_ns,
+            net_ns: report.elapsed_ns.saturating_sub(per_processor_other_work),
+            miss_rate: report.miss_rate(),
+            cas_failures: report.cas_failures,
+            preemptions: report.preemptions,
+            peak_resident_segments: budget.as_ref().map(|b| b.peak()),
+            budget_denials: budget.as_ref().map(|b| b.denials()),
+        },
+        pairs_completed,
+        killed: report.killed.clone(),
+        blocked: report.blocked.clone(),
+        stalls_injected: report.stalls_injected,
+        preempts_injected: report.preempts_injected,
+        max_completion_ns: report.max_completion_ns(),
+        drained,
     }
 }
 
@@ -553,6 +682,75 @@ mod tests {
         );
         assert_eq!(point.peak_resident_segments, None);
         assert_eq!(point.budget_denials, None);
+    }
+
+    #[test]
+    fn faulted_run_kill_on_nonblocking_queue_still_completes() {
+        let point = run_simulated_faulted(
+            Algorithm::NewNonBlocking,
+            SimConfig {
+                processors: 2,
+                watchdog_ns: 50_000_000,
+                ..SimConfig::default()
+            },
+            &tiny(),
+            FaultPlan::new().kill_at_label(1, "msq:enq:window", 0),
+        );
+        assert_eq!(point.killed, vec![1]);
+        assert!(point.survivors_completed(), "blocked: {:?}", point.blocked);
+        // Process 0 finished all its pairs; the victim died on pair 0.
+        assert_eq!(point.pairs_completed, share(300, 2, 0));
+        // The victim's linearized-but-unfinished enqueue strands one value.
+        assert_eq!(point.drained, Some(1));
+        assert!(point.max_completion_ns > 0);
+        assert!(point.max_completion_ns < 50_000_000, "no watchdog overrun");
+    }
+
+    #[test]
+    fn faulted_run_kill_on_lock_queue_is_detected_as_blocked() {
+        let point = run_simulated_faulted(
+            Algorithm::SingleLock,
+            SimConfig {
+                processors: 2,
+                watchdog_ns: 50_000_000,
+                ..SimConfig::default()
+            },
+            &tiny(),
+            FaultPlan::new().kill_at_label(1, "single-lock:enq:locked", 0),
+        );
+        assert_eq!(point.killed, vec![1]);
+        assert!(
+            !point.survivors_completed(),
+            "a dead lock-holder must block the survivor"
+        );
+        assert_eq!(point.blocked, vec![0]);
+        assert_eq!(point.drained, None, "a seized lock makes draining unsafe");
+    }
+
+    #[test]
+    fn faulted_runs_with_empty_plans_match_unfaulted_timing() {
+        let cfg = SimConfig {
+            processors: 2,
+            ..SimConfig::default()
+        };
+        let faulted =
+            run_simulated_faulted(Algorithm::NewNonBlocking, cfg, &tiny(), FaultPlan::new());
+        let unfaulted = run_simulated(Algorithm::NewNonBlocking, cfg, &tiny());
+        assert_eq!(faulted.point.elapsed_ns, unfaulted.elapsed_ns);
+        assert_eq!(faulted.point.cas_failures, unfaulted.cas_failures);
+        assert_eq!(faulted.pairs_completed, 300);
+        assert_eq!(faulted.drained, Some(0));
+    }
+
+    #[test]
+    fn every_algorithm_has_an_enqueue_fault_label() {
+        for alg in Algorithm::WITH_EXTENSIONS {
+            let label = alg.enqueue_fault_label();
+            assert!(
+                label.contains(":enq:") || label.ends_with(":window"),
+                "{alg}: {label}"
+            );
+        }
     }
 
     #[test]

@@ -111,17 +111,39 @@ pub trait Platform: Clone + Send + Sync + Sized + 'static {
     /// simulated process id, which keeps shard assignment deterministic
     /// across runs regardless of host-thread scheduling.
     fn affinity_hint(&self) -> usize {
-        use std::cell::Cell;
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        static NEXT_TOKEN: AtomicUsize = AtomicUsize::new(0);
-        thread_local! {
-            static TOKEN: Cell<usize> = const { Cell::new(usize::MAX) };
-        }
-        TOKEN.with(|token| {
-            if token.get() == usize::MAX {
-                token.set(NEXT_TOKEN.fetch_add(1, Ordering::Relaxed));
-            }
-            token.get()
-        })
+        affinity_hint_default()
     }
+
+    /// Marks a labelled *fault point*: a spot inside an algorithm where a
+    /// scheduler-induced fault (stall, preemption, death) is interesting —
+    /// typically the window between an operation's linearization step and
+    /// the cleanup that follows it, or the body of a critical section.
+    ///
+    /// The contract is "may not return": a fault plan can stall the caller
+    /// for virtual time, preempt it, or kill its process outright (by
+    /// unwinding). Algorithms therefore must be in a *legal shared state*
+    /// at every fault point — exactly the states the paper reasons about
+    /// when it argues non-blocking progress.
+    ///
+    /// The default (and the native platform's behaviour) is a no-op, so
+    /// fault points cost nothing outside the simulator. `msq_sim`'s
+    /// platform routes them to the active `FaultPlan`, if any.
+    fn fault_point(&self, label: &'static str) {
+        let _ = label;
+    }
+}
+
+fn affinity_hint_default() -> usize {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT_TOKEN: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static TOKEN: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    TOKEN.with(|token| {
+        if token.get() == usize::MAX {
+            token.set(NEXT_TOKEN.fetch_add(1, Ordering::Relaxed));
+        }
+        token.get()
+    })
 }

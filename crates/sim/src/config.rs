@@ -45,6 +45,17 @@ pub struct SimConfig {
     /// legal interleaving. [`crate::schedule_sweep`] runs a closure
     /// across many seeds to sample the schedule space.
     pub seed: u64,
+    /// Virtual-time watchdog limit in nanoseconds (`0`, the default,
+    /// disables it). When a process's next scheduler entry finds its
+    /// processor clock at or past this limit, the process is judged
+    /// *permanently blocked* — the paper's "a blocked process stalls
+    /// everyone" outcome — recorded in [`crate::SimReport::blocked`], and
+    /// retired so the run terminates deterministically instead of hanging.
+    /// Because blocked spinners keep charging virtual time (spins, backoff
+    /// delays, cache misses), every stuck process trips the watchdog in
+    /// bounded virtual time. Set it well above the expected faultless
+    /// completion time.
+    pub watchdog_ns: u64,
 }
 
 impl SimConfig {
@@ -84,6 +95,7 @@ impl Default for SimConfig {
             quantum_ns: 10_000_000,
             trace_capacity: 0,
             seed: 0,
+            watchdog_ns: 0,
         }
     }
 }

@@ -5,6 +5,12 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
 use crate::config::SimConfig;
+use crate::fault::{FaultAction, FaultPlan, FaultTrigger};
+
+/// Panic payload used to unwind a worker whose process was killed by the
+/// fault layer. The runner recognizes it and swallows the unwind instead
+/// of treating it as a test failure.
+pub(crate) struct ProcessKilled;
 
 /// Identifies "no process" in the token slot.
 pub(crate) const NOBODY: usize = usize::MAX;
@@ -78,6 +84,16 @@ struct Process {
     cache_hits: u64,
     cache_misses: u64,
     cas_failures: u64,
+    /// Scheduler entries (memory ops + delays), the clock for
+    /// [`FaultTrigger::Op`]. Only advanced for fault-watched processes.
+    steps: u64,
+    /// Virtual time before which this process may not run (stall faults).
+    /// Zero for unfaulted processes, keeping the canonical schedule exact.
+    blocked_until_ns: u64,
+    /// Processor clock when the process retired (finish or kill).
+    finished_at_ns: u64,
+    /// Per-label fault-point hit counts, for [`FaultTrigger::Label`].
+    label_hits: Vec<(&'static str, u64)>,
 }
 
 pub(crate) struct Core {
@@ -91,10 +107,18 @@ pub(crate) struct Core {
     started: bool,
     preemptions: u64,
     trace: Vec<crate::report::TraceEvent>,
+    /// One flag per [`FaultPlan`] spec: each fault fires at most once.
+    fault_fired: Vec<bool>,
+    /// Pids killed by the fault layer, in kill order.
+    killed: Vec<usize>,
+    /// Pids retired by the virtual-time watchdog (permanently blocked).
+    blocked: Vec<usize>,
+    stalls_injected: u64,
+    preempts_injected: u64,
 }
 
 impl Core {
-    fn new(cfg: SimConfig) -> Self {
+    fn new(cfg: SimConfig, fault_slots: usize) -> Self {
         cfg.validate();
         let n = cfg.num_processes();
         let mut processors: Vec<Processor> = (0..cfg.processors)
@@ -134,6 +158,10 @@ impl Core {
                     cache_hits: 0,
                     cache_misses: 0,
                     cas_failures: 0,
+                    steps: 0,
+                    blocked_until_ns: 0,
+                    finished_at_ns: 0,
+                    label_hits: Vec::new(),
                 }
             })
             .collect();
@@ -147,6 +175,11 @@ impl Core {
             started: false,
             preemptions: 0,
             trace: Vec::new(),
+            fault_fired: vec![false; fault_slots],
+            killed: Vec::new(),
+            blocked: Vec::new(),
+            stalls_injected: 0,
+            preempts_injected: 0,
         }
     }
 
@@ -274,21 +307,62 @@ impl Core {
     }
 
     /// Picks the next process to hold the token: the front of the run queue
-    /// of the least-advanced processor that still has work (ties broken by
-    /// processor index). Returns [`NOBODY`] when everything has finished.
-    fn pick_next(&self) -> usize {
-        let mut best: Option<(u64, usize)> = None;
-        for (idx, processor) in self.processors.iter().enumerate() {
-            if processor.run_queue.is_empty() {
+    /// of the processor whose front becomes runnable earliest (ties broken
+    /// by processor index). Returns [`NOBODY`] when everything has finished.
+    ///
+    /// A process stalled by a fault has `blocked_until_ns` in the future:
+    /// it is rotated behind runnable queue-mates (a stalled process does
+    /// not hold its processor), and if *every* candidate is stalled the
+    /// chosen processor idles — its clock jumps to the stall's end. With
+    /// no faults every `blocked_until_ns` is zero and this reduces exactly
+    /// to the historical least-advanced-clock rule.
+    fn pick_next(&mut self) -> usize {
+        for cpu in 0..self.processors.len() {
+            let clock = self.processors[cpu].clock_ns;
+            let queue_len = self.processors[cpu].run_queue.len();
+            if queue_len < 2 {
                 continue;
             }
+            let any_runnable = self.processors[cpu]
+                .run_queue
+                .iter()
+                .any(|&p| self.processes[p].blocked_until_ns <= clock);
+            if !any_runnable {
+                continue;
+            }
+            for _ in 0..queue_len {
+                let front = *self.processors[cpu].run_queue.front().expect("non-empty");
+                if self.processes[front].blocked_until_ns <= clock {
+                    break;
+                }
+                let f = self.processors[cpu]
+                    .run_queue
+                    .pop_front()
+                    .expect("non-empty");
+                self.processors[cpu].run_queue.push_back(f);
+            }
+        }
+        let mut best: Option<(u64, usize)> = None;
+        for (idx, processor) in self.processors.iter().enumerate() {
+            let Some(&front) = processor.run_queue.front() else {
+                continue;
+            };
+            let ready = processor
+                .clock_ns
+                .max(self.processes[front].blocked_until_ns);
             match best {
-                Some((clock, _)) if clock <= processor.clock_ns => {}
-                _ => best = Some((processor.clock_ns, idx)),
+                Some((best_ready, _)) if best_ready <= ready => {}
+                _ => best = Some((ready, idx)),
             }
         }
         match best {
-            Some((_, cpu)) => *self.processors[cpu].run_queue.front().expect("non-empty"),
+            Some((ready, cpu)) => {
+                // Idle the processor through the remainder of the stall.
+                if self.processors[cpu].clock_ns < ready {
+                    self.processors[cpu].clock_ns = ready;
+                }
+                *self.processors[cpu].run_queue.front().expect("non-empty")
+            }
             None => NOBODY,
         }
     }
@@ -296,11 +370,53 @@ impl Core {
     fn remove_process(&mut self, pid: usize) {
         let cpu = self.processes[pid].cpu;
         self.processes[pid].finished = true;
+        self.processes[pid].finished_at_ns = self.processors[cpu].clock_ns;
         self.processors[cpu].run_queue.retain(|&p| p != pid);
         // Reset the quantum for whoever runs next on this processor.
         let base = self.cfg.quantum_ns;
         self.processors[cpu].quantum_left_ns = self.processors[cpu].next_quantum(base);
         self.live -= 1;
+    }
+
+    /// Applies `op` with no cost, no cache effects, and no stats — the
+    /// setup-mode semantics, used for post-mortem accesses from a killed
+    /// process's unwind path (destructors must not deadlock on a token
+    /// that will never come back).
+    fn apply_direct(&mut self, cell: u32, op: MemOp) -> Result<u64, u64> {
+        let prev = self.cells[cell as usize].value;
+        match op {
+            MemOp::Load => Ok(prev),
+            MemOp::Store(v) | MemOp::Swap(v) => {
+                self.cells[cell as usize].value = v;
+                Ok(prev)
+            }
+            MemOp::CompareExchange { current, new } => {
+                if prev == current {
+                    self.cells[cell as usize].value = new;
+                    Ok(prev)
+                } else {
+                    Err(prev)
+                }
+            }
+            MemOp::FetchAdd(d) => {
+                self.cells[cell as usize].value = prev.wrapping_add(d);
+                Ok(prev)
+            }
+        }
+    }
+
+    /// Returns the 0-based index of this hit of `label` by `pid` and
+    /// advances the per-process counter.
+    fn next_label_hit(&mut self, pid: usize, label: &'static str) -> u64 {
+        let hits = &mut self.processes[pid].label_hits;
+        if let Some(entry) = hits.iter_mut().find(|(l, _)| *l == label) {
+            let n = entry.1;
+            entry.1 += 1;
+            n
+        } else {
+            hits.push((label, 1));
+            0
+        }
     }
 }
 
@@ -308,15 +424,30 @@ impl Core {
 /// process (avoiding thundering-herd wakeups) and one for the coordinator.
 pub(crate) struct SimShared {
     core: Mutex<Core>,
+    /// The run's fault schedule (immutable; empty by default). Kept outside
+    /// the mutex so `fault_point` can precheck without locking.
+    plan: FaultPlan,
     process_cv: Vec<Condvar>,
     done_cv: Condvar,
 }
 
 impl SimShared {
     pub fn new(cfg: SimConfig) -> Self {
+        Self::with_plan(cfg, FaultPlan::new())
+    }
+
+    pub fn with_plan(cfg: SimConfig, plan: FaultPlan) -> Self {
         let n = cfg.num_processes();
+        for spec in &plan.specs {
+            assert!(
+                spec.pid < n,
+                "fault plan targets pid {} but the simulation has {n} processes",
+                spec.pid
+            );
+        }
         SimShared {
-            core: Mutex::new(Core::new(cfg)),
+            core: Mutex::new(Core::new(cfg, plan.specs.len())),
+            plan,
             process_cv: (0..n).map(|_| Condvar::new()).collect(),
             done_cv: Condvar::new(),
         }
@@ -355,22 +486,62 @@ impl SimShared {
 
     /// Executes one shared-memory operation on behalf of `pid`, charging
     /// virtual time and handing the token to the next process.
+    ///
+    /// May unwind instead of returning when the fault plan (or watchdog)
+    /// kills `pid` at this step.
     pub fn mem_op(&self, pid: usize, cell: u32, op: MemOp) -> Result<u64, u64> {
         let mut core = self.wait_for_token(pid);
+        if core.processes[pid].finished {
+            // Post-mortem access from a killed process's unwind path.
+            return core.apply_direct(cell, op);
+        }
+        core = self.resolve_step_faults(core, pid);
         let (result, cost) = core.apply(pid, cell, op);
         self.charge_and_pass(core, pid, cost);
         result.value
     }
 
     /// Charges `nanos` of pure delay (backoff / "other work") to `pid`.
+    ///
+    /// May unwind instead of returning when the fault plan (or watchdog)
+    /// kills `pid` at this step.
     pub fn delay(&self, pid: usize, nanos: u64) {
         let core = self.wait_for_token(pid);
+        if core.processes[pid].finished {
+            return;
+        }
+        let core = self.resolve_step_faults(core, pid);
         self.charge_and_pass(core, pid, nanos);
     }
 
-    /// Retires `pid` from the simulation.
+    /// Reports that `pid` reached the fault point `label`; fires any
+    /// matching label-triggered faults. Free when the plan has no label
+    /// faults for `pid` — no lock, no token, no virtual time.
+    pub fn fault_point(&self, pid: usize, label: &'static str) {
+        if !self.plan.watches_labels(pid) {
+            return;
+        }
+        let mut core = self.wait_for_token(pid);
+        if core.processes[pid].finished {
+            return;
+        }
+        let hit = core.next_label_hit(pid, label);
+        while let Some(action) = self.take_fault(&mut core, pid, |t| {
+            matches!(t, FaultTrigger::Label { label: l, occurrence }
+                     if *l == label && *occurrence == hit)
+        }) {
+            core = self.apply_fault(core, pid, action);
+        }
+        // The fault point itself is free: keep the token, charge nothing.
+    }
+
+    /// Retires `pid` from the simulation. No-op for a process the fault
+    /// layer already retired (kill / watchdog).
     pub fn finish(&self, pid: usize) {
         let mut core = self.wait_for_token(pid);
+        if core.processes[pid].finished {
+            return;
+        }
         core.remove_process(pid);
         core.running = core.pick_next();
         let next = core.running;
@@ -382,6 +553,130 @@ impl SimShared {
         if all_done {
             self.done_cv.notify_all();
         }
+    }
+
+    /// Watchdog + op-count fault triggers, checked while `pid` holds the
+    /// token at the top of a scheduler entry. Never returns if `pid` dies.
+    fn resolve_step_faults<'a>(
+        &'a self,
+        mut core: std::sync::MutexGuard<'a, Core>,
+        pid: usize,
+    ) -> std::sync::MutexGuard<'a, Core> {
+        let watchdog = core.cfg.watchdog_ns;
+        if watchdog > 0 {
+            let cpu = core.processes[pid].cpu;
+            if core.processors[cpu].clock_ns >= watchdog {
+                core.blocked.push(pid);
+                self.kill_locked(core, pid);
+            }
+        }
+        if !self.plan.watches(pid) {
+            return core;
+        }
+        let step = core.processes[pid].steps;
+        core.processes[pid].steps += 1;
+        while let Some(action) = self.take_fault(
+            &mut core,
+            pid,
+            |t| matches!(t, FaultTrigger::Op(n) if *n == step),
+        ) {
+            core = self.apply_fault(core, pid, action);
+        }
+        core
+    }
+
+    /// Marks the first unfired spec for `pid` whose trigger matches as
+    /// fired and returns its action.
+    fn take_fault(
+        &self,
+        core: &mut Core,
+        pid: usize,
+        matches: impl Fn(&FaultTrigger) -> bool,
+    ) -> Option<FaultAction> {
+        for (i, spec) in self.plan.specs.iter().enumerate() {
+            if spec.pid == pid && !core.fault_fired[i] && matches(&spec.trigger) {
+                core.fault_fired[i] = true;
+                return Some(spec.action);
+            }
+        }
+        None
+    }
+
+    /// Applies a fired fault to `pid` (which holds the token). Kill never
+    /// returns; stall and preempt yield the token and re-acquire it.
+    fn apply_fault<'a>(
+        &'a self,
+        mut core: std::sync::MutexGuard<'a, Core>,
+        pid: usize,
+        action: FaultAction,
+    ) -> std::sync::MutexGuard<'a, Core> {
+        match action {
+            FaultAction::Kill => {
+                core.killed.push(pid);
+                self.kill_locked(core, pid)
+            }
+            FaultAction::Stall { duration_ns } => {
+                core.stalls_injected += 1;
+                let cpu = core.processes[pid].cpu;
+                let until = core.processors[cpu].clock_ns.saturating_add(duration_ns);
+                core.processes[pid].blocked_until_ns = until;
+                self.yield_token(core, pid)
+            }
+            FaultAction::Preempt => {
+                core.preempts_injected += 1;
+                core.preemptions += 1;
+                let cpu = core.processes[pid].cpu;
+                let ctx = core.cfg.ctx_switch_ns;
+                let base = core.cfg.quantum_ns;
+                let processor = &mut core.processors[cpu];
+                if processor.run_queue.len() > 1 {
+                    let front = processor.run_queue.pop_front().expect("non-empty");
+                    debug_assert_eq!(front, pid);
+                    processor.run_queue.push_back(front);
+                }
+                processor.clock_ns += ctx;
+                processor.quantum_left_ns = processor.next_quantum(base);
+                self.yield_token(core, pid)
+            }
+        }
+    }
+
+    /// Gives up the token (if anyone else should run) and blocks until the
+    /// scheduler hands it back.
+    fn yield_token<'a>(
+        &'a self,
+        mut core: std::sync::MutexGuard<'a, Core>,
+        pid: usize,
+    ) -> std::sync::MutexGuard<'a, Core> {
+        let next = core.pick_next();
+        core.running = next;
+        if next == pid {
+            return core;
+        }
+        drop(core);
+        if next != NOBODY {
+            self.process_cv[next].notify_one();
+        }
+        self.wait_for_token(pid)
+    }
+
+    /// Retires `pid` right now (fault kill or watchdog), hands the token
+    /// on, and unwinds the worker with the [`ProcessKilled`] sentinel.
+    fn kill_locked(&self, mut core: std::sync::MutexGuard<'_, Core>, pid: usize) -> ! {
+        core.remove_process(pid);
+        core.running = core.pick_next();
+        let next = core.running;
+        let all_done = core.live == 0;
+        // Never unwind while holding the core mutex: that would poison the
+        // whole simulation.
+        drop(core);
+        if next != NOBODY {
+            self.process_cv[next].notify_one();
+        }
+        if all_done {
+            self.done_cv.notify_all();
+        }
+        std::panic::resume_unwind(Box::new(ProcessKilled));
     }
 
     /// Blocks the coordinator until every process has finished.
@@ -419,15 +714,23 @@ impl SimShared {
                     cache_hits: p.cache_hits,
                     cache_misses: p.cache_misses,
                     cas_failures: p.cas_failures,
+                    finished_at_ns: p.finished_at_ns,
                 })
                 .collect(),
             trace: core.trace.clone(),
+            killed: core.killed.clone(),
+            blocked: core.blocked.clone(),
+            stalls_injected: core.stalls_injected,
+            preempts_injected: core.preempts_injected,
         }
     }
 
     fn wait_for_token(&self, pid: usize) -> std::sync::MutexGuard<'_, Core> {
         let mut core = self.core.lock().expect("sim lock");
-        while !core.started || core.running != pid {
+        // A finished (killed) process will never be handed the token again;
+        // let it through so post-mortem accesses can take the direct path
+        // instead of deadlocking.
+        while (!core.started || core.running != pid) && !core.processes[pid].finished {
             core = self.process_cv[pid].wait(core).expect("sim lock");
         }
         core
@@ -460,7 +763,7 @@ mod tests {
 
     #[test]
     fn cost_model_distinguishes_hits_and_misses() {
-        let mut core = Core::new(two_cpu_cfg());
+        let mut core = Core::new(two_cpu_cfg(), 0);
         let cell = core.alloc_cell(0);
         // First read by pid 0 (cpu 0): miss.
         let (_, c1) = core.apply(0, cell, MemOp::Load);
@@ -484,7 +787,7 @@ mod tests {
 
     #[test]
     fn rmw_carries_surcharge_even_on_cas_failure() {
-        let mut core = Core::new(two_cpu_cfg());
+        let mut core = Core::new(two_cpu_cfg(), 0);
         let cell = core.alloc_cell(5);
         let (r, cost) = core.apply(
             0,
@@ -502,7 +805,7 @@ mod tests {
 
     #[test]
     fn memory_semantics_match_atomics() {
-        let mut core = Core::new(two_cpu_cfg());
+        let mut core = Core::new(two_cpu_cfg(), 0);
         let cell = core.alloc_cell(10);
         assert_eq!(core.apply(0, cell, MemOp::FetchAdd(5)).0.value, Ok(10));
         assert_eq!(core.peek(cell), 15);
@@ -526,7 +829,7 @@ mod tests {
             ctx_switch_ns: 7,
             ..SimConfig::default()
         };
-        let mut core = Core::new(cfg);
+        let mut core = Core::new(cfg, 0);
         assert_eq!(core.processors[0].run_queue.front(), Some(&0));
         core.charge(0, 100); // exactly exhausts the quantum
         assert_eq!(core.processors[0].run_queue.front(), Some(&1));
@@ -542,7 +845,7 @@ mod tests {
             quantum_ns: 10,
             ..SimConfig::default()
         };
-        let mut core = Core::new(cfg);
+        let mut core = Core::new(cfg, 0);
         core.charge(0, 1_000_000);
         assert_eq!(core.preemptions, 0);
         assert_eq!(core.processors[0].run_queue.front(), Some(&0));
@@ -550,7 +853,7 @@ mod tests {
 
     #[test]
     fn pick_next_prefers_least_advanced_processor() {
-        let mut core = Core::new(two_cpu_cfg());
+        let mut core = Core::new(two_cpu_cfg(), 0);
         assert_eq!(core.pick_next(), 0, "tie broken by processor index");
         core.charge(0, 50);
         assert_eq!(core.pick_next(), 1);
@@ -560,7 +863,7 @@ mod tests {
 
     #[test]
     fn finished_processes_are_skipped() {
-        let mut core = Core::new(two_cpu_cfg());
+        let mut core = Core::new(two_cpu_cfg(), 0);
         core.remove_process(0);
         assert_eq!(core.pick_next(), 1);
         core.remove_process(1);
@@ -570,7 +873,7 @@ mod tests {
 
     #[test]
     fn seed_zero_is_the_canonical_schedule() {
-        let core = Core::new(two_cpu_cfg());
+        let core = Core::new(two_cpu_cfg(), 0);
         for (cpu, p) in core.processors.iter().enumerate() {
             assert_eq!(p.clock_ns, 0, "seed 0 must not phase-shift clocks");
             assert_eq!(
@@ -587,13 +890,13 @@ mod tests {
             seed: 7,
             ..two_cpu_cfg()
         };
-        let a = Core::new(cfg);
-        let b = Core::new(cfg);
+        let a = Core::new(cfg, 0);
+        let b = Core::new(cfg, 0);
         for (pa, pb) in a.processors.iter().zip(&b.processors) {
             assert_eq!(pa.clock_ns, pb.clock_ns, "same seed, same schedule");
             assert_eq!(pa.rng, pb.rng);
         }
-        let canonical = Core::new(two_cpu_cfg());
+        let canonical = Core::new(two_cpu_cfg(), 0);
         let differs = a
             .processors
             .iter()
@@ -613,7 +916,7 @@ mod tests {
             processes_per_processor: 2,
             ..SimConfig::default()
         };
-        let core = Core::new(cfg);
+        let core = Core::new(cfg, 0);
         assert_eq!(core.processes[0].cpu, 0);
         assert_eq!(core.processes[1].cpu, 1);
         assert_eq!(core.processes[2].cpu, 2);

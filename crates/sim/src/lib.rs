@@ -58,12 +58,14 @@
 
 mod config;
 mod core;
+mod fault;
 mod platform;
 mod report;
 mod runner;
 mod sweep;
 
 pub use config::SimConfig;
+pub use fault::{FaultAction, FaultPlan, FaultSpec, FaultTrigger};
 pub use platform::{SimCell, SimPlatform};
 pub use report::{ProcessReport, SimReport, TraceEvent, TraceKind};
 pub use runner::{ProcessInfo, Simulation};

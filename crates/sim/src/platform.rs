@@ -113,6 +113,16 @@ impl Platform for SimPlatform {
         // to 0, which is fine — setup is untimed and single-threaded.
         current_pid().unwrap_or(0)
     }
+
+    fn fault_point(&self, label: &'static str) {
+        // Routes to the run's FaultPlan. The shared side prechecks the
+        // plan lock-free, so unwatched processes (and every process of an
+        // unfaulted run) take a few instructions and no scheduler
+        // interaction — the canonical schedule is untouched.
+        if let Some(pid) = current_pid() {
+            self.shared.fault_point(pid, label);
+        }
+    }
 }
 
 /// A simulated shared-memory word.

@@ -50,6 +50,10 @@ pub struct ProcessReport {
     pub cache_misses: u64,
     /// Failed `compare_exchange` operations.
     pub cas_failures: u64,
+    /// Processor clock when the process retired — by finishing its body,
+    /// by a kill fault, or by the watchdog. The maximum over surviving
+    /// processes is the run's completion latency under faults.
+    pub finished_at_ns: u64,
 }
 
 /// Aggregate results of one [`crate::Simulation::run`].
@@ -74,6 +78,17 @@ pub struct SimReport {
     /// The first [`crate::SimConfig::trace_capacity`] operations, in
     /// virtual-time order (empty when tracing is disabled).
     pub trace: Vec<TraceEvent>,
+    /// Pids killed by the fault plan, in kill order (empty unfaulted).
+    pub killed: Vec<usize>,
+    /// Pids the virtual-time watchdog judged permanently blocked. For a
+    /// lock-based queue whose lock holder died, this is the *expected*
+    /// outcome; for a non-blocking queue it is a progress-failure finding.
+    pub blocked: Vec<usize>,
+    /// Stall faults injected by the plan.
+    pub stalls_injected: u64,
+    /// Preemption faults injected by the plan (also counted in
+    /// [`SimReport::preemptions`]).
+    pub preempts_injected: u64,
 }
 
 impl SimReport {
@@ -90,6 +105,25 @@ impl SimReport {
     /// Virtual elapsed time in seconds.
     pub fn elapsed_secs(&self) -> f64 {
         self.elapsed_ns as f64 / 1e9
+    }
+
+    /// Latest retirement time among processes that completed normally
+    /// (excluding killed and watchdog-blocked pids): the run's maximum
+    /// completion latency under faults.
+    pub fn max_completion_ns(&self) -> u64 {
+        self.per_process
+            .iter()
+            .filter(|p| !self.killed.contains(&p.pid) && !self.blocked.contains(&p.pid))
+            .map(|p| p.finished_at_ns)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True when every process other than the deliberately killed ones
+    /// retired normally — no survivor tripped the watchdog. This is the
+    /// paper's non-blocking progress property under a fault plan.
+    pub fn survivors_completed(&self) -> bool {
+        self.blocked.is_empty()
     }
 }
 
@@ -108,6 +142,10 @@ mod tests {
             preemptions: 0,
             per_process: Vec::new(),
             trace: Vec::new(),
+            killed: Vec::new(),
+            blocked: Vec::new(),
+            stalls_injected: 0,
+            preempts_injected: 0,
         }
     }
 

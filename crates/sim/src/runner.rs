@@ -3,7 +3,8 @@
 use std::sync::Arc;
 
 use crate::config::SimConfig;
-use crate::core::SimShared;
+use crate::core::{ProcessKilled, SimShared};
+use crate::fault::FaultPlan;
 use crate::platform::{bind_current_process, unbind_current_process, SimPlatform};
 use crate::report::SimReport;
 
@@ -49,6 +50,22 @@ impl Simulation {
         cfg.validate();
         Simulation {
             shared: Arc::new(SimShared::new(cfg)),
+            cfg,
+        }
+    }
+
+    /// Creates a simulation that injects the faults scheduled in `plan`
+    /// (see [`FaultPlan`]). An empty plan is exactly [`Simulation::new`]:
+    /// the schedule is not perturbed in any way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid or if `plan` targets a pid outside
+    /// `0..cfg.num_processes()`.
+    pub fn with_faults(cfg: SimConfig, plan: FaultPlan) -> Self {
+        cfg.validate();
+        Simulation {
+            shared: Arc::new(SimShared::with_plan(cfg, plan)),
             cfg,
         }
     }
@@ -105,6 +122,18 @@ impl Simulation {
                         // scheduler with a token holder that never yields.
                         let outcome =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(info)));
+                        let outcome = match outcome {
+                            // A fault-layer kill: the scheduler already
+                            // retired this process; swallow the unwind.
+                            Err(payload) => match payload.downcast::<ProcessKilled>() {
+                                Ok(_) => {
+                                    unbind_current_process();
+                                    return;
+                                }
+                                Err(other) => Err(other),
+                            },
+                            ok => ok,
+                        };
                         shared.finish(pid);
                         unbind_current_process();
                         if let Err(panic) = outcome {
@@ -336,6 +365,250 @@ mod tests {
             }
             cell.fetch_add(1);
         });
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_unfaulted() {
+        let run = |faulted: bool| {
+            let cfg = SimConfig {
+                processors: 3,
+                processes_per_processor: 2,
+                quantum_ns: 3_000,
+                ..SimConfig::default()
+            };
+            let sim = if faulted {
+                Simulation::with_faults(cfg, crate::FaultPlan::new())
+            } else {
+                Simulation::new(cfg)
+            };
+            let cell = Arc::new(sim.platform().alloc_cell(0));
+            sim.run(move |_| {
+                for _ in 0..100 {
+                    cell.fetch_add(1);
+                }
+            })
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn kill_fault_retires_victim_while_others_complete() {
+        let plan = crate::FaultPlan::new().kill_at_op(1, 5);
+        let sim = Simulation::with_faults(
+            SimConfig {
+                processors: 2,
+                ..SimConfig::default()
+            },
+            plan,
+        );
+        let cell = Arc::new(sim.platform().alloc_cell(0));
+        let report = sim.run({
+            let cell = Arc::clone(&cell);
+            move |_| {
+                for _ in 0..100 {
+                    cell.fetch_add(1);
+                }
+            }
+        });
+        assert_eq!(report.killed, vec![1]);
+        assert!(report.blocked.is_empty());
+        // Victim got exactly 5 increments in before dying mid-operation.
+        assert_eq!(cell.load(), 105);
+        assert_eq!(report.per_process[1].ops, 5);
+        assert_eq!(report.per_process[0].ops, 100);
+        assert!(report.per_process[0].finished_at_ns > 0);
+    }
+
+    #[test]
+    fn kill_at_label_fires_on_the_chosen_occurrence() {
+        let plan = crate::FaultPlan::new().kill_at_label(0, "test:window", 3);
+        let sim = Simulation::with_faults(SimConfig::default(), plan);
+        let platform = sim.platform();
+        let cell = Arc::new(platform.alloc_cell(0));
+        let report = sim.run({
+            let cell = Arc::clone(&cell);
+            move |_| {
+                for _ in 0..10 {
+                    cell.fetch_add(1);
+                    platform.fault_point("test:window");
+                }
+            }
+        });
+        assert_eq!(report.killed, vec![0]);
+        // Occurrence 3 is the fourth hit: four increments landed.
+        assert_eq!(cell.load(), 4);
+    }
+
+    #[test]
+    fn stall_fault_idles_the_victim_for_its_duration() {
+        const STALL_NS: u64 = 5_000_000;
+        let base = SimConfig::default();
+        let unfaulted = {
+            let sim = Simulation::new(base);
+            let cell = Arc::new(sim.platform().alloc_cell(0));
+            sim.run(move |_| {
+                for _ in 0..50 {
+                    cell.fetch_add(1);
+                }
+            })
+        };
+        let faulted = {
+            let sim =
+                Simulation::with_faults(base, crate::FaultPlan::new().stall_at_op(0, 10, STALL_NS));
+            let cell = Arc::new(sim.platform().alloc_cell(0));
+            sim.run(move |_| {
+                for _ in 0..50 {
+                    cell.fetch_add(1);
+                }
+            })
+        };
+        assert_eq!(faulted.stalls_injected, 1);
+        assert_eq!(
+            faulted.elapsed_ns,
+            unfaulted.elapsed_ns + STALL_NS,
+            "a lone stalled process idles its processor for exactly the stall"
+        );
+        assert_eq!(faulted.total_ops, unfaulted.total_ops, "work unchanged");
+    }
+
+    #[test]
+    fn stalled_process_cedes_its_processor_to_queue_mates() {
+        // Two processes multiprogrammed on one processor; pid 0 stalls for
+        // a long time early on. Pid 1 must finish long before pid 0's
+        // stall would allow if the stall blocked the whole processor.
+        const STALL_NS: u64 = 50_000_000;
+        let sim = Simulation::with_faults(
+            SimConfig {
+                processors: 1,
+                processes_per_processor: 2,
+                quantum_ns: 10_000,
+                ..SimConfig::default()
+            },
+            crate::FaultPlan::new().stall_at_op(0, 1, STALL_NS),
+        );
+        let cell = Arc::new(sim.platform().alloc_cell(0));
+        let report = sim.run({
+            let cell = Arc::clone(&cell);
+            move |_| {
+                for _ in 0..100 {
+                    cell.fetch_add(1);
+                }
+            }
+        });
+        assert_eq!(cell.load(), 200, "both processes finish all their work");
+        assert!(
+            report.per_process[1].finished_at_ns < STALL_NS,
+            "pid 1 finished at {}ns, inside pid 0's {}ns stall",
+            report.per_process[1].finished_at_ns,
+            STALL_NS
+        );
+        assert!(report.per_process[0].finished_at_ns >= STALL_NS);
+    }
+
+    #[test]
+    fn preempt_fault_rotates_and_charges_a_context_switch() {
+        let sim = Simulation::with_faults(
+            SimConfig {
+                processors: 1,
+                processes_per_processor: 2,
+                ..SimConfig::default()
+            },
+            crate::FaultPlan::new().preempt_storm(0, "test:crit", 3),
+        );
+        let platform = sim.platform();
+        let cell = Arc::new(platform.alloc_cell(0));
+        let report = sim.run({
+            let cell = Arc::clone(&cell);
+            move |_| {
+                for _ in 0..5 {
+                    cell.fetch_add(1);
+                    platform.fault_point("test:crit");
+                }
+            }
+        });
+        assert_eq!(report.preempts_injected, 3);
+        assert!(report.preemptions >= 3);
+        assert_eq!(cell.load(), 10);
+    }
+
+    #[test]
+    fn watchdog_reports_a_spinning_survivor_as_blocked() {
+        // Pid 0 "holds a lock" forever by dying; pid 1 spins on the flag.
+        // The watchdog must convert pid 1's infinite spin into a recorded
+        // `blocked` verdict and terminate the run.
+        let sim = Simulation::with_faults(
+            SimConfig {
+                processors: 2,
+                watchdog_ns: 3_000_000,
+                ..SimConfig::default()
+            },
+            crate::FaultPlan::new().kill_at_op(0, 0),
+        );
+        let cell = Arc::new(sim.platform().alloc_cell(0));
+        let report = sim.run({
+            let cell = Arc::clone(&cell);
+            move |info| {
+                if info.pid == 0 {
+                    cell.store(1); // killed before this ever lands
+                    cell.store(0);
+                } else {
+                    while cell.load() == 0 {
+                        // spin: each probe charges virtual time
+                    }
+                }
+            }
+        });
+        assert_eq!(report.killed, vec![0]);
+        assert_eq!(report.blocked, vec![1]);
+        assert!(!report.survivors_completed());
+        assert_eq!(cell.load(), 0, "the killed store never executed");
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let run = || {
+            let sim = Simulation::with_faults(
+                SimConfig {
+                    processors: 2,
+                    processes_per_processor: 2,
+                    quantum_ns: 3_000,
+                    seed: 42,
+                    ..SimConfig::default()
+                },
+                crate::FaultPlan::new()
+                    .kill_at_op(3, 17)
+                    .stall_at_op(1, 9, 100_000)
+                    .preempt_at_label(2, "test:w", 1),
+            );
+            let platform = sim.platform();
+            let cell = Arc::new(platform.alloc_cell(0));
+            let report = sim.run({
+                let cell = Arc::clone(&cell);
+                move |_| {
+                    for _ in 0..40 {
+                        cell.fetch_add(1);
+                        platform.fault_point("test:w");
+                    }
+                }
+            });
+            (report, cell.load())
+        };
+        let (r1, v1) = run();
+        let (r2, v2) = run();
+        assert_eq!(r1, r2, "same plan, same schedule, same history");
+        assert_eq!(v1, v2);
+        assert_eq!(r1.killed, vec![3]);
+        assert_eq!(r1.stalls_injected, 1);
+        assert_eq!(r1.preempts_injected, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets pid 9")]
+    fn fault_plan_pid_out_of_range_is_rejected() {
+        let _ = Simulation::with_faults(
+            SimConfig::default(),
+            crate::FaultPlan::new().kill_at_op(9, 0),
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ use crate::core::splitmix64;
 /// to seed 0, the canonical schedule).
 ///
 /// On the first failure, prints the failing sweep index and seed — the
-/// shrunk, single-schedule reproduction — and resumes the panic.
+/// shrunk, single-schedule reproduction — plus a ready-to-paste
+/// `MSQ_SWEEP_SEED=<seed> cargo test …` command line, and resumes the
+/// panic. Setting `MSQ_SWEEP_SEED` pins the sweep to that single seed
+/// (the printed reproducer does exactly this).
 ///
 /// # Example
 ///
@@ -42,16 +45,42 @@ pub fn schedule_sweep<F>(base: SimConfig, seeds: u64, body: F)
 where
     F: Fn(SimConfig),
 {
+    // MSQ_SWEEP_SEED pins the sweep to one seed — the reproduction mode
+    // the failure report prints.
+    if let Some(seed) = pinned_seed() {
+        let cfg = SimConfig { seed, ..base };
+        eprintln!("schedule_sweep: MSQ_SWEEP_SEED pins this sweep to seed {seed:#x}");
+        body(cfg);
+        return;
+    }
     for index in 0..seeds {
         let seed = if index == 0 { 0 } else { splitmix64(index) };
         let cfg = SimConfig { seed, ..base };
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(cfg))) {
+            let test = std::thread::current()
+                .name()
+                .map_or_else(|| "<test name>".to_string(), str::to_owned);
             eprintln!(
                 "schedule_sweep: first failing schedule at sweep index {index} \
-                 of {seeds}; reproduce with `SimConfig {{ seed: {seed:#x}, .. }}`"
+                 of {seeds}; reproduce with `SimConfig {{ seed: {seed:#x}, .. }}` \
+                 or:\n    MSQ_SWEEP_SEED={seed} cargo test -q {test}"
             );
             resume_unwind(payload);
         }
+    }
+}
+
+/// Parses `MSQ_SWEEP_SEED` (decimal, or hex with an `0x` prefix).
+fn pinned_seed() -> Option<u64> {
+    let raw = std::env::var("MSQ_SWEEP_SEED").ok()?;
+    let raw = raw.trim();
+    let parsed = raw
+        .strip_prefix("0x")
+        .or_else(|| raw.strip_prefix("0X"))
+        .map_or_else(|| raw.parse(), |hex| u64::from_str_radix(hex, 16));
+    match parsed {
+        Ok(seed) => Some(seed),
+        Err(_) => panic!("MSQ_SWEEP_SEED must be a u64 (decimal or 0x-hex), got `{raw}`"),
     }
 }
 

@@ -72,7 +72,7 @@ pub use msq_platform as platform;
 pub use msq_sim as sim;
 pub use msq_sync as sync;
 
-pub use msq_arena::{MemBudget, SegArena};
+pub use msq_arena::{MemBudget, Reservation, SegArena};
 pub use msq_baselines::{
     HerlihyQueue, LamportQueue, McQueue, PljQueue, SingleLockQueue, TreiberStack, ValoisQueue,
 };
@@ -82,13 +82,16 @@ pub use msq_core::{
     DEFAULT_SHARDS,
 };
 pub use msq_harness::{
-    run_figure, run_native, run_native_batched, run_simulated, run_simulated_batched, Algorithm,
-    WorkloadConfig,
+    run_figure, run_native, run_native_batched, run_simulated, run_simulated_batched,
+    run_simulated_faulted, Algorithm, FaultedPoint, WorkloadConfig,
 };
 pub use msq_linearize::{is_linearizable_queue, History, Recorder};
 pub use msq_platform::{
     AtomicWord, Backoff, BackoffConfig, BatchFull, ConcurrentStack, ConcurrentWordQueue,
     NativePlatform, Platform, QueueFull, Tagged,
 };
-pub use msq_sim::{schedule_sweep, SimConfig, SimPlatform, SimReport, Simulation};
+pub use msq_sim::{
+    schedule_sweep, FaultAction, FaultPlan, FaultSpec, FaultTrigger, SimConfig, SimPlatform,
+    SimReport, Simulation,
+};
 pub use msq_sync::{ClhLock, McsLock, RawLock, TasLock, TicketLock, TokenLock, TtasLock};

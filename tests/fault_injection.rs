@@ -1,0 +1,299 @@
+//! The paper's progress claims under deterministic adversity (DESIGN.md
+//! §11): a [`FaultPlan`] stalls, preempts, or permanently kills chosen
+//! processes at labelled *fault points* inside each algorithm's critical
+//! windows, and the virtual-time watchdog turns "non-blocking" from prose
+//! into an oracle. The headline pair, swept across ≥ 16 perturbed
+//! schedules each:
+//!
+//! * killing a process inside the MS queue's enqueue window leaves every
+//!   survivor able to finish, the queue drainable, and the recorded
+//!   history linearizable (the victim's linearized-but-unacknowledged
+//!   enqueue is admitted as a pending operation, Section 3.2 style);
+//! * the *same* death inside the single-lock queue's critical section is
+//!   detected by the watchdog as permanently blocking every survivor —
+//!   the expected outcome for a blocking algorithm, asserted rather than
+//!   hung.
+
+use std::sync::{Arc, Mutex};
+
+use ms_queues::linearize::{Event, Operation};
+use ms_queues::{
+    is_linearizable_queue, run_simulated_faulted, schedule_sweep, Algorithm, FaultPlan, History,
+    MemBudget, NativePlatform, Recorder, SimConfig, Simulation, WorkloadConfig,
+};
+
+fn tiny() -> WorkloadConfig {
+    WorkloadConfig {
+        pairs_total: 240,
+        other_work_ns: 500,
+        capacity: 256,
+        mem_budget: None,
+    }
+}
+
+/// Stalls in the enqueue critical window delay but never corrupt: every
+/// algorithm (blocking ones included — the victim *resumes*) completes
+/// the full workload and leaves an empty queue.
+#[test]
+fn stalls_in_the_critical_window_delay_but_never_corrupt() {
+    for algorithm in Algorithm::ALL {
+        let plan = FaultPlan::new()
+            .stall_at_label(0, algorithm.enqueue_fault_label(), 0, 200_000)
+            .stall_at_label(0, algorithm.enqueue_fault_label(), 4, 200_000);
+        let point = run_simulated_faulted(
+            algorithm,
+            SimConfig {
+                processors: 3,
+                ..SimConfig::default()
+            },
+            &tiny(),
+            plan,
+        );
+        assert_eq!(point.stalls_injected, 2, "{algorithm}: stalls fired");
+        assert!(point.killed.is_empty(), "{algorithm}");
+        assert!(point.survivors_completed(), "{algorithm}");
+        assert_eq!(point.pairs_completed, 240, "{algorithm}");
+        assert_eq!(point.drained, Some(0), "{algorithm}: queue empty after");
+    }
+}
+
+/// A preemption storm parked on the MS enqueue window — the
+/// multiprogrammed scheduler landing on the worst instruction over and
+/// over (the paper's Figures 4–5 regime) — is absorbed without loss.
+#[test]
+fn preempt_storm_on_the_ms_window_is_absorbed() {
+    let point = run_simulated_faulted(
+        Algorithm::NewNonBlocking,
+        SimConfig {
+            processors: 2,
+            processes_per_processor: 2,
+            ..SimConfig::default()
+        },
+        &tiny(),
+        FaultPlan::new().preempt_storm(0, "msq:enq:window", 16),
+    );
+    assert_eq!(point.preempts_injected, 16);
+    assert!(point.killed.is_empty());
+    assert!(point.survivors_completed());
+    assert_eq!(point.pairs_completed, 240);
+    assert_eq!(point.drained, Some(0));
+}
+
+/// The victim's first enqueue value in [`kill_and_record`] workloads:
+/// pid 0, iteration 0.
+const VICTIM_VALUE: u64 = 0;
+
+/// Runs 3 simulated processes over the MS queue with pid 0 killed at its
+/// first pass through the enqueue critical window (node linked, Tail
+/// lagging), records the surviving history, drains the queue, and
+/// returns the history with the victim's linearized-but-unacknowledged
+/// enqueue admitted as a pending operation (interval `[0, u64::MAX]`,
+/// concurrent with everything) if its value ever surfaced.
+fn kill_and_record(cfg: SimConfig) -> History {
+    let seed = cfg.seed;
+    let sim = Simulation::with_faults(cfg, FaultPlan::new().kill_at_label(0, "msq:enq:window", 0));
+    let queue = Algorithm::NewNonBlocking.build(&sim.platform(), 64);
+    let recorder = Recorder::new();
+    let handles: Vec<_> = (0..3).map(|p| Some(recorder.handle(p))).collect();
+    let handles = Arc::new(Mutex::new(handles));
+    let report = sim.run({
+        let queue = Arc::clone(&queue);
+        let handles = Arc::clone(&handles);
+        move |info| {
+            let mut handle = handles.lock().unwrap()[info.pid].take().unwrap();
+            for i in 0..2_u64 {
+                let value = ((info.pid as u64) << 8) | i;
+                handle.enqueue(&*queue, value).unwrap();
+                handle.dequeue(&*queue);
+            }
+        }
+    });
+    assert_eq!(report.killed, vec![0], "seed {seed:#x}");
+    assert!(
+        report.blocked.is_empty(),
+        "seed {seed:#x}: watchdog flagged survivors of a non-blocking queue: {:?}",
+        report.blocked
+    );
+    // The dead process must not block the drain either: the queue is
+    // fully operable from the outside afterwards.
+    let mut drainer = recorder.handle(3);
+    while drainer.dequeue(&*queue).is_some() {}
+    drop(drainer);
+
+    let mut events = recorder.finish().events().to_vec();
+    let victim_surfaced = events
+        .iter()
+        .any(|e| e.operation == Operation::Dequeue(Some(VICTIM_VALUE)));
+    let victim_recorded = events
+        .iter()
+        .any(|e| e.operation == Operation::Enqueue(VICTIM_VALUE));
+    if victim_surfaced && !victim_recorded {
+        events.push(Event {
+            process: 0,
+            operation: Operation::Enqueue(VICTIM_VALUE),
+            invoked_at: 0,
+            returned_at: u64::MAX,
+        });
+    }
+    History::from_events(events)
+}
+
+/// **Acceptance, part 1**: kill a process mid-enqueue on the MS queue
+/// across 16 perturbed schedules. Survivors always finish, the queue
+/// always drains, and every recorded history — victim's pending enqueue
+/// included — passes the fast checks and the exhaustive Wing–Gong
+/// linearizability search.
+#[test]
+fn kill_mid_enqueue_on_ms_queue_survivors_linearize_across_16_seeds() {
+    let base = SimConfig {
+        processors: 3,
+        quantum_ns: 60_000,
+        watchdog_ns: 50_000_000,
+        ..SimConfig::default()
+    };
+    schedule_sweep(base, 16, |cfg| {
+        let seed = cfg.seed;
+        let history = kill_and_record(cfg);
+        assert!(
+            history.check_queue_safety().is_empty(),
+            "seed {seed:#x}: fast checks failed: {:?}",
+            history.events()
+        );
+        assert!(
+            is_linearizable_queue(history.events()),
+            "seed {seed:#x}: faulted history not linearizable: {:?}",
+            history.events()
+        );
+    });
+}
+
+/// **Acceptance, part 2**: the *same* fault — death at the first enqueue
+/// critical window — on the single-lock queue. Across 16 perturbed
+/// schedules the victim dies holding the lock, and the virtual-time
+/// watchdog must report every survivor permanently blocked (and the
+/// post-mortem queue unapproachable: no drain is attempted).
+#[test]
+fn kill_mid_enqueue_on_single_lock_watchdog_flags_survivors_across_16_seeds() {
+    let base = SimConfig {
+        processors: 3,
+        quantum_ns: 60_000,
+        watchdog_ns: 50_000_000,
+        ..SimConfig::default()
+    };
+    schedule_sweep(base, 16, |cfg| {
+        let seed = cfg.seed;
+        let point = run_simulated_faulted(
+            Algorithm::SingleLock,
+            cfg,
+            &tiny(),
+            FaultPlan::new().kill_at_label(0, "single-lock:enq:locked", 0),
+        );
+        assert_eq!(point.killed, vec![0], "seed {seed:#x}");
+        assert!(
+            !point.survivors_completed(),
+            "seed {seed:#x}: a single-lock death should block survivors"
+        );
+        assert_eq!(
+            point.blocked.len(),
+            2,
+            "seed {seed:#x}: both survivors hang on the dead process's lock: {:?}",
+            point.blocked
+        );
+        assert_eq!(
+            point.drained, None,
+            "seed {seed:#x}: drain must not be attempted"
+        );
+    });
+}
+
+/// Mellor-Crummey's torn-tail window (between its tail `swap` and the
+/// predecessor link store) is just as fatal: a death there strands the
+/// link and the watchdog flags the survivors — the queue is "lock-free"
+/// only in the informal sense, exactly as the paper classifies it.
+#[test]
+fn kill_in_mellor_crummey_torn_tail_window_blocks_survivors() {
+    let point = run_simulated_faulted(
+        Algorithm::MellorCrummey,
+        SimConfig {
+            processors: 3,
+            watchdog_ns: 50_000_000,
+            ..SimConfig::default()
+        },
+        &tiny(),
+        FaultPlan::new().kill_at_label(0, "mc:enq:window", 0),
+    );
+    assert_eq!(point.killed, vec![0]);
+    assert!(!point.survivors_completed());
+    assert_eq!(point.drained, None);
+}
+
+/// Killing a process *between* reserving a [`MemBudget`] unit and
+/// committing the allocation (the `seg:alloc:reserved` fault point) must
+/// not leak the reservation: the guard releases it during the kill
+/// unwind, survivors keep allocating, and after drain + drop the budget
+/// is exactly where it started.
+#[test]
+fn kill_mid_allocation_conserves_budget_reservations_simulated() {
+    let sim = Simulation::with_faults(
+        SimConfig {
+            processors: 3,
+            watchdog_ns: 50_000_000,
+            ..SimConfig::default()
+        },
+        FaultPlan::new().kill_at_label(0, "seg:alloc:reserved", 0),
+    );
+    let platform = sim.platform();
+    let budget = Arc::new(MemBudget::new(&platform, 8));
+    let queue = Algorithm::SegBatched.build_with_budget(&platform, 64, Some(Arc::clone(&budget)));
+    // The residency floor: the dummy segment's unit, held for the queue's
+    // whole lifetime.
+    let floor = budget.reserved();
+    assert_eq!(floor, 1, "one dummy segment resident after construction");
+    let report = sim.run({
+        let queue = Arc::clone(&queue);
+        // Enqueue-only: all three processes push past segment boundaries,
+        // so each calls into the arena's reserve-then-allocate slow path.
+        move |info| {
+            for i in 0..40_u64 {
+                let value = ((info.pid as u64) << 8) | i;
+                while queue.enqueue(value).is_err() {}
+            }
+        }
+    });
+    assert_eq!(
+        report.killed,
+        vec![0],
+        "pid 0 should die at its first slow-path allocation"
+    );
+    assert!(report.blocked.is_empty(), "blocked: {:?}", report.blocked);
+    assert_eq!(budget.overruns(), 0);
+    // Reserved units now count exactly the live segments; draining walks
+    // every unit except the dummy's back. A leaked mid-allocation
+    // reservation would leave the count permanently above the floor.
+    while queue.dequeue().is_some() {}
+    assert_eq!(
+        budget.reserved(),
+        floor,
+        "the killed process's uncommitted reservation leaked"
+    );
+}
+
+/// The native analogue: a thread that panics while holding an
+/// uncommitted [`ms_queues::Reservation`] releases it during unwinding.
+#[test]
+fn panicking_thread_releases_uncommitted_reservation_natively() {
+    let platform = NativePlatform::new();
+    let budget = Arc::new(MemBudget::new(&platform, 4));
+    let worker = {
+        let budget = Arc::clone(&budget);
+        std::thread::spawn(move || {
+            let _guard = budget.try_reserve_guard(2).expect("well under limit");
+            assert_eq!(budget.reserved(), 2);
+            // The guard is still held (uncommitted) when the thread dies.
+            panic!("process dies mid-allocation");
+        })
+    };
+    assert!(worker.join().is_err(), "the worker must have panicked");
+    assert_eq!(budget.reserved(), 0, "unwinding released the reservation");
+    assert_eq!(budget.overruns(), 0);
+}

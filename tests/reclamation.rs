@@ -308,6 +308,67 @@ fn queues_created_and_dropped_mid_test_release_their_units() {
     assert!(budget.denials() >= 5, "each round was driven to denial");
 }
 
+/// The two-lock queue preallocates its whole node pool (Figure 2), so a
+/// budget-metered instance must force-reserve `capacity + 1` units up
+/// front: a pool larger than the budget is an *overrun* (the constructor
+/// stays infallible, as in the paper), and dropping the queue must credit
+/// every unit back.
+#[test]
+fn two_lock_arena_is_metered_against_the_budget() {
+    use ms_queues::{ConcurrentWordQueue, MemBudget, NativePlatform, WordTwoLockQueue};
+
+    let platform = NativePlatform::new();
+    // Pool fits: 7 + 1 dummy = 8 units of 8.
+    let budget = Arc::new(MemBudget::new(&platform, 8));
+    {
+        let q = WordTwoLockQueue::with_capacity_and_budget(&platform, 7, Arc::clone(&budget));
+        assert_eq!(budget.reserved(), 8, "capacity + dummy reserved up front");
+        assert_eq!(budget.overruns(), 0, "a fitting pool is no overrun");
+        q.enqueue(1).unwrap();
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(
+            budget.reserved(),
+            8,
+            "churn reuses the pool; residency is constant"
+        );
+    }
+    assert_eq!(budget.reserved(), 0, "drop credits the whole pool back");
+
+    // Pool does not fit: 16 units against a limit of 4 must be recorded
+    // as an overrun, not denied — construction still succeeds.
+    let tiny = Arc::new(MemBudget::new(&platform, 4));
+    {
+        let q = WordTwoLockQueue::with_capacity_and_budget(&platform, 15, Arc::clone(&tiny));
+        assert!(tiny.overruns() > 0, "over-budget pool counts as overrun");
+        assert_eq!(tiny.reserved(), 16, "force_reserve still books the units");
+        q.enqueue(9).unwrap();
+        assert_eq!(q.dequeue(), Some(9), "the queue works regardless");
+    }
+    assert_eq!(tiny.reserved(), 0, "overrun units are still released");
+    assert!(tiny.peak() >= 16);
+}
+
+/// The same metering through the registry's `build_with_budget` path and a
+/// `MemBudget::global()`-style shared budget: assertions are lower bounds
+/// (`>=`) because parallel tests may share the global budget.
+#[test]
+fn two_lock_budget_attaches_through_the_registry() {
+    use ms_queues::{Algorithm, MemBudget, NativePlatform};
+
+    let platform = NativePlatform::new();
+    let budget = Arc::new(MemBudget::new(&platform, 1 << 20));
+    let before = budget.reserved();
+    let q = Algorithm::NewTwoLock.build_with_budget(&platform, 31, Some(Arc::clone(&budget)));
+    assert!(
+        budget.reserved() >= before + 32,
+        "registry-built two-lock reserves its pool"
+    );
+    q.enqueue(5).unwrap();
+    assert_eq!(q.dequeue(), Some(5));
+    drop(q);
+    assert_eq!(budget.reserved(), before, "registry path releases on drop");
+}
+
 #[test]
 fn queues_dropped_mid_flight_leak_nothing() {
     let drops = Arc::new(AtomicU64::new(0));
