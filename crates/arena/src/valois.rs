@@ -48,6 +48,24 @@ impl<P: Platform> RcArena<P> {
         RcArena { arena, refs }
     }
 
+    /// As [`RcArena::new`], metering the node pool (one unit per node,
+    /// reserved for the arena's lifetime) against `budget` via
+    /// [`NodeArena::with_budget`] — force-reserved, so an over-budget pool
+    /// surfaces in [`crate::MemBudget::overruns`] rather than failing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 or does not fit a tagged index.
+    pub fn with_budget(
+        platform: &P,
+        capacity: u32,
+        budget: std::sync::Arc<crate::MemBudget<P>>,
+    ) -> Self {
+        let arena = NodeArena::with_budget(platform, capacity, budget);
+        let refs = (0..capacity).map(|_| platform.alloc_cell(1)).collect();
+        RcArena { arena, refs }
+    }
+
     /// The underlying plain arena (value/next accessors).
     pub fn nodes(&self) -> &NodeArena<P> {
         &self.arena

@@ -65,6 +65,32 @@ impl<P: Platform> McQueue<P> {
             platform,
             capacity.checked_add(1).expect("capacity overflow"),
         );
+        Self::from_arena(platform, arena, backoff)
+    }
+
+    /// As [`McQueue::with_capacity`], metering the node pool (one unit per
+    /// node, `capacity + 1` total for the dummy) against `budget` for the
+    /// queue's lifetime. The pool is force-reserved — an over-budget queue
+    /// surfaces in [`msq_arena::MemBudget::overruns`], not as a
+    /// construction failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity + 1` does not fit a tagged index.
+    pub fn with_capacity_and_budget(
+        platform: &P,
+        capacity: u32,
+        budget: std::sync::Arc<msq_arena::MemBudget<P>>,
+    ) -> Self {
+        let arena = NodeArena::with_budget(
+            platform,
+            capacity.checked_add(1).expect("capacity overflow"),
+            budget,
+        );
+        Self::from_arena(platform, arena, BackoffConfig::DEFAULT)
+    }
+
+    fn from_arena(platform: &P, arena: NodeArena<P>, backoff: BackoffConfig) -> Self {
         let dummy = arena.alloc().expect("fresh arena");
         arena.set_next(dummy, NULL_INDEX);
         McQueue {

@@ -61,6 +61,32 @@ impl<P: Platform> ValoisQueue<P> {
             platform,
             capacity.checked_add(1).expect("capacity overflow"),
         );
+        Self::from_rc(platform, rc, backoff)
+    }
+
+    /// As [`ValoisQueue::with_capacity`], metering the reference-counted
+    /// node pool (one unit per node, `capacity + 1` total for the dummy)
+    /// against `budget` for the queue's lifetime. The pool is
+    /// force-reserved — an over-budget queue surfaces in
+    /// [`msq_arena::MemBudget::overruns`], not as a construction failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity + 1` does not fit a tagged index.
+    pub fn with_capacity_and_budget(
+        platform: &P,
+        capacity: u32,
+        budget: std::sync::Arc<msq_arena::MemBudget<P>>,
+    ) -> Self {
+        let rc = RcArena::with_budget(
+            platform,
+            capacity.checked_add(1).expect("capacity overflow"),
+            budget,
+        );
+        Self::from_rc(platform, rc, BackoffConfig::DEFAULT)
+    }
+
+    fn from_rc(platform: &P, rc: RcArena<P>, backoff: BackoffConfig) -> Self {
         let dummy = rc.alloc().expect("fresh arena");
         // Head and Tail each hold a counted reference to the dummy; our
         // allocation reference transfers to Head and we add one for Tail.

@@ -22,6 +22,10 @@
 //!    on the single-lock queue the virtual-time watchdog reports the
 //!    survivors permanently blocked — the expected, asserted outcome.
 //!
+//! The stall comparison is repeated at 64 processors (the raised
+//! simulator ceiling) for the three headline algorithms, and the
+//! Figure 4–5 ordering is asserted there as well.
+//!
 //! Run from the workspace root: `cargo run --release -p msq-bench --bin
 //! faultbench`. Writes `BENCH_fault.json` in the current directory. Pass
 //! `--smoke` for a scaled-down CI sanity run (same cells, same shape).
@@ -36,6 +40,11 @@ use msq_sim::{FaultPlan, SimConfig, Simulation};
 /// Simulated processors (dedicated: one process each, as in Figure 3's
 /// machine model — the *faults* supply the adverse scheduling here).
 const PROCESSORS: usize = 4;
+
+/// High-scale repeat of the headline cells: the same victim stalls with
+/// 63 survivors instead of 3, exercising the raised simulator ceiling.
+/// The Figure 4–5 ordering must hold there too.
+const PROCESSORS_HIGH: usize = 64;
 
 /// Enqueue/dequeue pairs across all processes.
 const PAIRS: u64 = 1_600;
@@ -68,6 +77,10 @@ struct StallCell {
 /// algorithm's enqueue critical window; everyone runs the Section 4
 /// workload. Returns survivor (non-victim) completion alongside elapsed.
 fn stall_cell(algorithm: Algorithm, pairs: u64, stall_ns: u64) -> StallCell {
+    stall_cell_at(algorithm, PROCESSORS, pairs, stall_ns)
+}
+
+fn stall_cell_at(algorithm: Algorithm, processors: usize, pairs: u64, stall_ns: u64) -> StallCell {
     let mut plan = FaultPlan::new();
     if stall_ns > 0 {
         for k in 0..NUM_STALLS {
@@ -81,7 +94,7 @@ fn stall_cell(algorithm: Algorithm, pairs: u64, stall_ns: u64) -> StallCell {
     }
     let sim = Simulation::with_faults(
         SimConfig {
-            processors: PROCESSORS,
+            processors,
             ..SimConfig::default()
         },
         plan,
@@ -158,6 +171,37 @@ fn main() {
             .survivor_completion_ns
     };
 
+    // --- Cell 1b: the headline comparison again at 64 processors. Only
+    // the extremes of the stall sweep (0 and the longest), for the three
+    // algorithms the Figure 4–5 ordering is about. ---
+    let high_contenders = [
+        Algorithm::NewNonBlocking,
+        Algorithm::SingleLock,
+        Algorithm::MellorCrummey,
+    ];
+    let mut high_cells: Vec<StallCell> = Vec::new();
+    for algorithm in high_contenders {
+        for stall_ns in [0, *STALL_LENGTHS.last().unwrap()] {
+            let cell = stall_cell_at(algorithm, PROCESSORS_HIGH, pairs, stall_ns);
+            eprintln!(
+                "stall {:>9} ns  {:<16} ({}p) survivors done at {:>12} ns ({} stalls fired)",
+                cell.stall_ns,
+                cell.algorithm.label(),
+                PROCESSORS_HIGH,
+                cell.survivor_completion_ns,
+                cell.stalls_fired
+            );
+            high_cells.push(cell);
+        }
+    }
+    let high_at = |alg: Algorithm, stall_ns: u64| {
+        high_cells
+            .iter()
+            .find(|c| c.algorithm == alg && c.stall_ns == stall_ns)
+            .expect("high-scale cell")
+            .survivor_completion_ns
+    };
+
     // --- Cell 2: death in the critical window. ---
     let workload = WorkloadConfig {
         pairs_total: pairs,
@@ -213,6 +257,12 @@ fn main() {
     let figure_ordering = collapsers
         .into_iter()
         .all(|a| at_max(Algorithm::NewNonBlocking) < at_max(a));
+    // The same ordering at 64 processors: with 63 survivors sharing the
+    // fixed pair budget, the lock queues still serialize every survivor
+    // behind the stalled victim while the non-blocking queue sails past.
+    let figure_ordering_high = collapsers
+        .into_iter()
+        .all(|a| high_at(Algorithm::NewNonBlocking, max_stall) < high_at(a, max_stall));
     let all_stalls_fired = cells
         .iter()
         .all(|c| c.stalls_fired == if c.stall_ns == 0 { 0 } else { NUM_STALLS });
@@ -221,7 +271,8 @@ fn main() {
     let kill_single_lock_blocks = kill_lock.killed == vec![0] && !kill_lock.survivors_completed();
     eprintln!(
         "acceptance: nonblocking_flat={nonblocking_flat} blocking_collapses={blocking_collapses} \
-         figure_ordering={figure_ordering} all_stalls_fired={all_stalls_fired} \
+         figure_ordering={figure_ordering} figure_ordering_{PROCESSORS_HIGH}p={figure_ordering_high} \
+         all_stalls_fired={all_stalls_fired} \
          kill_nonblocking_survives={kill_nonblocking_survives} \
          kill_single_lock_blocks={kill_single_lock_blocks}"
     );
@@ -253,6 +304,24 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"processors_high\": {PROCESSORS_HIGH},");
+    json.push_str("  \"stall_sweep_high\": [\n");
+    for (i, c) in high_cells.iter().enumerate() {
+        let degradation = c.survivor_completion_ns as f64 / high_at(c.algorithm, 0) as f64;
+        let _ = writeln!(
+            json,
+            "    {{\"algorithm\": \"{}\", \"nonblocking\": {}, \"stall_ns\": {}, \"survivor_completion_virtual_ns\": {}, \"elapsed_virtual_ns\": {}, \"stalls_fired\": {}, \"survivor_degradation\": {:.4}}}{}",
+            c.algorithm.label(),
+            c.algorithm.is_nonblocking(),
+            c.stall_ns,
+            c.survivor_completion_ns,
+            c.elapsed_ns,
+            c.stalls_fired,
+            degradation,
+            if i + 1 == high_cells.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(
         json,
         "  \"death\": {{\"new_nonblocking\": {{\"killed\": {:?}, \"blocked\": {:?}, \"drained\": {}, \"pairs_completed\": {}, \"max_completion_virtual_ns\": {}}}, \"single_lock\": {{\"killed\": {:?}, \"blocked\": {:?}, \"pairs_completed\": {}}}}},",
@@ -267,7 +336,7 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"acceptance\": {{\"nonblocking_flat_bound\": {flat_bound}, \"nonblocking_flat\": {nonblocking_flat}, \"blocking_collapses\": {blocking_collapses}, \"figure_ordering\": {figure_ordering}, \"all_stalls_fired\": {all_stalls_fired}, \"kill_nonblocking_survives\": {kill_nonblocking_survives}, \"kill_single_lock_blocks\": {kill_single_lock_blocks}}}"
+        "  \"acceptance\": {{\"nonblocking_flat_bound\": {flat_bound}, \"nonblocking_flat\": {nonblocking_flat}, \"blocking_collapses\": {blocking_collapses}, \"figure_ordering\": {figure_ordering}, \"figure_ordering_high\": {figure_ordering_high}, \"all_stalls_fired\": {all_stalls_fired}, \"kill_nonblocking_survives\": {kill_nonblocking_survives}, \"kill_single_lock_blocks\": {kill_single_lock_blocks}}}"
     );
     json.push_str("}\n");
 

@@ -4,8 +4,8 @@
 //! `new-nonblocking` (the paper's Figure 1 queue):
 //!
 //! 1. **Simulated coherence misses per queue operation** on the
-//!    deterministic multiprocessor at 4 and 8 processors under maximum
-//!    contention (no other work). This is the host-independent metric: a
+//!    deterministic multiprocessor at 4, 8, 64, and 128 processors under
+//!    maximum contention (no other work). This is the host-independent metric: a
 //!    `fetch_add` slot claim always succeeds, so the seg-batched fast path
 //!    avoids the failed-CAS re-read traffic the pointer-linked queue pays.
 //! 2. **Native throughput** of an enqueue/dequeue pair, single-threaded
@@ -37,6 +37,22 @@ const SMOKE_NATIVE_PAIRS: u64 = 50_000;
 const BURST: u64 = 25;
 /// Pairs for the native timing loop.
 const NATIVE_PAIRS: u64 = 2_000_000;
+
+/// Simulated processor counts swept. The two high points exercise the
+/// raised simulator ceiling; per-process work shrinks there so total op
+/// counts stay comparable.
+const SIM_PROCESSORS: [usize; 4] = [4, 8, 64, 128];
+
+/// Per-process pairs for a cell: one burst per process at the high
+/// processor counts (64 x 25 pairs already moves more values than
+/// 8 x 200), the full sweep size below.
+fn cell_pairs(processors: usize, sim_pairs: u64) -> u64 {
+    if processors >= 64 {
+        BURST
+    } else {
+        sim_pairs
+    }
+}
 
 struct SimCell {
     algorithm: Algorithm,
@@ -102,9 +118,9 @@ fn main() {
     let contenders = [Algorithm::NewNonBlocking, Algorithm::SegBatched];
 
     let mut sim_cells = Vec::new();
-    for processors in [4_usize, 8] {
+    for processors in SIM_PROCESSORS {
         for algorithm in contenders {
-            let cell = run_sim_cell(algorithm, processors, sim_pairs);
+            let cell = run_sim_cell(algorithm, processors, cell_pairs(processors, sim_pairs));
             eprintln!(
                 "sim {}p {:<16} {:.2} misses/op, {} CAS failures, {} virtual ns",
                 processors,
@@ -131,7 +147,7 @@ fn main() {
     // Ratios the acceptance criteria care about: seg-batched must show
     // >= 2x fewer misses per op than the pointer-linked queue.
     let mut ratios = Vec::new();
-    for processors in [4_usize, 8] {
+    for processors in SIM_PROCESSORS {
         let ms = sim_cells
             .iter()
             .find(|c| c.processors == processors && c.algorithm == Algorithm::NewNonBlocking)
@@ -165,11 +181,14 @@ fn main() {
         );
     }
     json.push_str("  ],\n  \"miss_ratio_ms_over_seg\": {");
-    let _ = writeln!(
-        json,
-        "\"4\": {:.2}, \"8\": {:.2}}},",
-        ratios[0].1, ratios[1].1
-    );
+    for (i, (processors, ratio)) in ratios.iter().enumerate() {
+        let _ = write!(
+            json,
+            "\"{processors}\": {ratio:.2}{}",
+            if i + 1 == ratios.len() { "" } else { ", " }
+        );
+    }
+    json.push_str("},\n");
     json.push_str("  \"native_single_thread\": [\n");
     for (i, (algorithm, pairs_per_sec)) in native.iter().enumerate() {
         let _ = writeln!(

@@ -59,6 +59,36 @@ impl<P: Platform> WordMsQueue<P> {
             platform,
             capacity.checked_add(1).expect("capacity overflow"),
         );
+        Self::from_arena(platform, arena, backoff)
+    }
+
+    /// As [`WordMsQueue::with_capacity`], metering the node pool (one unit
+    /// per node, `capacity + 1` total for the dummy) against `budget` for
+    /// the queue's lifetime.
+    ///
+    /// The pool is preallocated unconditionally — as in Figure 1 — so the
+    /// reservation goes through [`msq_arena::MemBudget::force_reserve`]: a
+    /// queue larger than the remaining budget shows up in
+    /// [`msq_arena::MemBudget::overruns`] rather than failing construction.
+    /// All units are credited back when the queue drops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity + 1` does not fit a tagged index.
+    pub fn with_capacity_and_budget(
+        platform: &P,
+        capacity: u32,
+        budget: std::sync::Arc<msq_arena::MemBudget<P>>,
+    ) -> Self {
+        let arena = NodeArena::with_budget(
+            platform,
+            capacity.checked_add(1).expect("capacity overflow"),
+            budget,
+        );
+        Self::from_arena(platform, arena, BackoffConfig::DEFAULT)
+    }
+
+    fn from_arena(platform: &P, arena: NodeArena<P>, backoff: BackoffConfig) -> Self {
         // initialize(Q): allocate a dummy node, the only node in the list;
         // both Head and Tail point to it.
         let dummy = arena.alloc().expect("fresh arena");

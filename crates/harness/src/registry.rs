@@ -135,11 +135,10 @@ impl Algorithm {
     /// As [`Algorithm::build`], optionally metering memory residency
     /// against a shared [`MemBudget`]. The segment-based extensions
     /// ([`Algorithm::SegBatched`], [`Algorithm::Sharded`]) reserve and
-    /// release units segment by segment; the two-lock queue
-    /// ([`Algorithm::NewTwoLock`]) force-reserves its whole preallocated
-    /// node pool for the queue's lifetime (so an over-budget pool surfaces
-    /// in [`MemBudget::overruns`]). The remaining paper algorithms allocate
-    /// node arenas up front and do not yet consult the budget.
+    /// release units segment by segment; every node-arena algorithm
+    /// (the paper's six) force-reserves its whole preallocated pool for
+    /// the queue's lifetime, so an over-budget pool surfaces in
+    /// [`MemBudget::overruns`] rather than failing construction.
     pub fn build_with_budget<P: Platform>(
         self,
         platform: &P,
@@ -148,6 +147,21 @@ impl Algorithm {
     ) -> Arc<dyn ConcurrentWordQueue> {
         if let Some(budget) = budget {
             return match self {
+                Algorithm::SingleLock => Arc::new(SingleLockQueue::with_capacity_and_budget(
+                    platform, capacity, budget,
+                )),
+                Algorithm::MellorCrummey => Arc::new(McQueue::with_capacity_and_budget(
+                    platform, capacity, budget,
+                )),
+                Algorithm::Valois => Arc::new(ValoisQueue::with_capacity_and_budget(
+                    platform, capacity, budget,
+                )),
+                Algorithm::PljNonBlocking => Arc::new(PljQueue::with_capacity_and_budget(
+                    platform, capacity, budget,
+                )),
+                Algorithm::NewNonBlocking => Arc::new(WordMsQueue::with_capacity_and_budget(
+                    platform, capacity, budget,
+                )),
                 Algorithm::SegBatched => Arc::new(WordSegQueue::with_capacity_and_budget(
                     platform, capacity, budget,
                 )),
@@ -160,7 +174,6 @@ impl Algorithm {
                 Algorithm::NewTwoLock => Arc::new(WordTwoLockQueue::with_capacity_and_budget(
                     platform, capacity, budget,
                 )),
-                other => other.build_with_budget(platform, capacity, None),
             };
         }
         match self {

@@ -8,7 +8,7 @@
 /// figure shapes are stable under ±2× changes to these costs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SimConfig {
-    /// Number of simulated processors (1–64).
+    /// Number of simulated processors (1–256).
     pub processors: usize,
     /// Processes multiplexed on each processor. `1` reproduces the
     /// dedicated machine of Figure 3; `2` and `3` reproduce Figures 4
@@ -56,6 +56,14 @@ pub struct SimConfig {
     /// bounded virtual time. Set it well above the expected faultless
     /// completion time.
     pub watchdog_ns: u64,
+    /// Execution backend selector. `None` (the default) defers to the
+    /// `MSQ_SIM_WORKERS` environment variable; `Some(0)` forces the serial
+    /// token-passing backend; `Some(n)` for `n >= 1` selects the
+    /// frame-stepped backend with `n` commit workers. The backend is an
+    /// execution strategy only: every choice produces a byte-identical
+    /// [`crate::SimReport`] (test-enforced), so this field never changes
+    /// what a run computes — only how the host computes it.
+    pub sim_workers: Option<usize>,
 }
 
 impl SimConfig {
@@ -68,11 +76,11 @@ impl SimConfig {
     ///
     /// # Panics
     ///
-    /// Panics if there are no processors or processes, or more than 64
-    /// processors (the sharer set is a 64-bit mask).
+    /// Panics if there are no processors or processes, or more than 256
+    /// processors (the sharer set is a fixed 256-bit mask).
     pub fn validate(&self) {
         assert!(self.processors >= 1, "need at least one processor");
-        assert!(self.processors <= 64, "at most 64 processors supported");
+        assert!(self.processors <= 256, "at most 256 processors supported");
         assert!(
             self.processes_per_processor >= 1,
             "need at least one process per processor"
@@ -96,6 +104,7 @@ impl Default for SimConfig {
             trace_capacity: 0,
             seed: 0,
             watchdog_ns: 0,
+            sim_workers: None,
         }
     }
 }
@@ -124,13 +133,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 64")]
+    #[should_panic(expected = "at most 256")]
     fn rejects_too_many_processors() {
         SimConfig {
-            processors: 65,
+            processors: 257,
             ..SimConfig::default()
         }
         .validate();
+    }
+
+    #[test]
+    fn accepts_data_center_scale_processor_counts() {
+        for processors in [64, 128, 256] {
+            SimConfig {
+                processors,
+                ..SimConfig::default()
+            }
+            .validate();
+        }
     }
 
     #[test]

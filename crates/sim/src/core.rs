@@ -44,19 +44,58 @@ pub(crate) struct MemResult {
     pub cas_failed: bool,
 }
 
-struct CellState {
-    value: u64,
-    /// Bitmask of processors currently holding this cell in cache.
-    sharers: u64,
+/// Fixed 256-bit processor set: which processors hold a cell in cache.
+/// Sized for the simulator's 256-processor ceiling (see
+/// [`SimConfig::validate`]).
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SharerSet([u64; 4]);
+
+impl SharerSet {
+    pub(crate) const EMPTY: SharerSet = SharerSet([0; 4]);
+
+    fn only(cpu: usize) -> SharerSet {
+        let mut s = SharerSet::EMPTY;
+        s.insert(cpu);
+        s
+    }
+
+    fn contains(&self, cpu: usize) -> bool {
+        self.0[cpu >> 6] & (1u64 << (cpu & 63)) != 0
+    }
+
+    fn insert(&mut self, cpu: usize) {
+        self.0[cpu >> 6] |= 1u64 << (cpu & 63);
+    }
+
+    /// Number of sharers other than `cpu`.
+    fn others(&self, cpu: usize) -> u64 {
+        let total: u32 = self.0.iter().map(|w| w.count_ones()).sum();
+        u64::from(total) - u64::from(self.contains(cpu))
+    }
+
+    /// True when `cpu` is the sole sharer.
+    fn is_exactly(&self, cpu: usize) -> bool {
+        *self == SharerSet::only(cpu)
+    }
 }
 
-struct Processor {
-    clock_ns: u64,
+pub(crate) struct CellState {
+    pub(crate) value: u64,
+    /// Which processors currently hold this cell in cache.
+    pub(crate) sharers: SharerSet,
+}
+
+pub(crate) struct Processor {
+    pub(crate) clock_ns: u64,
     /// Front is the currently scheduled process.
-    run_queue: VecDeque<usize>,
-    quantum_left_ns: u64,
+    pub(crate) run_queue: VecDeque<usize>,
+    pub(crate) quantum_left_ns: u64,
     /// Deterministic xorshift state for quantum jitter.
-    rng: u64,
+    pub(crate) rng: u64,
+    /// Quantum expiries charged on this processor. Kept per-processor so
+    /// the frame backend's commit workers never contend on a global
+    /// counter; the report sums them.
+    pub(crate) preemptions: u64,
 }
 
 impl Processor {
@@ -65,7 +104,7 @@ impl Processor {
     /// nearly-periodic op sequence phase-locks against the quantum and
     /// expiries systematically miss (or hit) critical sections — an
     /// artifact a real machine's noise does not have.
-    fn next_quantum(&mut self, base: u64) -> u64 {
+    pub(crate) fn next_quantum(&mut self, base: u64) -> u64 {
         self.rng ^= self.rng << 13;
         self.rng ^= self.rng >> 7;
         self.rng ^= self.rng << 17;
@@ -77,48 +116,137 @@ impl Processor {
     }
 }
 
-struct Process {
-    cpu: usize,
-    finished: bool,
-    ops: u64,
-    cache_hits: u64,
-    cache_misses: u64,
-    cas_failures: u64,
+pub(crate) struct Process {
+    pub(crate) cpu: usize,
+    pub(crate) finished: bool,
+    pub(crate) ops: u64,
+    pub(crate) cache_hits: u64,
+    pub(crate) cache_misses: u64,
+    pub(crate) cas_failures: u64,
     /// Scheduler entries (memory ops + delays), the clock for
     /// [`FaultTrigger::Op`]. Only advanced for fault-watched processes.
-    steps: u64,
+    pub(crate) steps: u64,
     /// Virtual time before which this process may not run (stall faults).
     /// Zero for unfaulted processes, keeping the canonical schedule exact.
-    blocked_until_ns: u64,
+    pub(crate) blocked_until_ns: u64,
     /// Processor clock when the process retired (finish or kill).
-    finished_at_ns: u64,
+    pub(crate) finished_at_ns: u64,
     /// Per-label fault-point hit counts, for [`FaultTrigger::Label`].
-    label_hits: Vec<(&'static str, u64)>,
+    pub(crate) label_hits: Vec<(&'static str, u64)>,
 }
 
 pub(crate) struct Core {
-    cfg: SimConfig,
-    cells: Vec<CellState>,
-    processors: Vec<Processor>,
-    processes: Vec<Process>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) cells: Vec<CellState>,
+    pub(crate) processors: Vec<Processor>,
+    pub(crate) processes: Vec<Process>,
     /// The process holding the execution token, or [`NOBODY`].
-    running: usize,
-    live: usize,
-    started: bool,
-    preemptions: u64,
-    trace: Vec<crate::report::TraceEvent>,
+    pub(crate) running: usize,
+    pub(crate) live: usize,
+    pub(crate) started: bool,
+    pub(crate) trace: Vec<crate::report::TraceEvent>,
     /// One flag per [`FaultPlan`] spec: each fault fires at most once.
-    fault_fired: Vec<bool>,
+    pub(crate) fault_fired: Vec<bool>,
     /// Pids killed by the fault layer, in kill order.
-    killed: Vec<usize>,
+    pub(crate) killed: Vec<usize>,
     /// Pids retired by the virtual-time watchdog (permanently blocked).
-    blocked: Vec<usize>,
-    stalls_injected: u64,
-    preempts_injected: u64,
+    pub(crate) blocked: Vec<usize>,
+    pub(crate) stalls_injected: u64,
+    pub(crate) preempts_injected: u64,
+}
+
+/// Applies `op` to one cell on behalf of one process on processor `cpu`,
+/// mutating only the three disjoint pieces it is handed. Both backends —
+/// the serial token scheduler and the frame engine's parallel commit
+/// workers — fund every shared-memory operation through this one function,
+/// so the cost arithmetic and cache-state transitions cannot drift apart.
+pub(crate) fn apply_parts(
+    cfg: &SimConfig,
+    state: &mut CellState,
+    process: &mut Process,
+    cpu: usize,
+    op: MemOp,
+) -> (MemResult, u64) {
+    let mut cost = cfg.t_local_ns;
+
+    let is_read_only = matches!(op, MemOp::Load);
+    if is_read_only {
+        if state.sharers.contains(cpu) {
+            cost += cfg.t_hit_ns;
+            process.cache_hits += 1;
+        } else {
+            cost += cfg.t_miss_ns;
+            process.cache_misses += 1;
+        }
+        state.sharers.insert(cpu);
+    } else {
+        let others = state.sharers.others(cpu);
+        if state.sharers.is_exactly(cpu) {
+            cost += cfg.t_hit_ns;
+            process.cache_hits += 1;
+        } else {
+            cost += cfg.t_miss_ns + cfg.t_inval_ns * others;
+            process.cache_misses += 1;
+        }
+        state.sharers = SharerSet::only(cpu);
+        if !matches!(op, MemOp::Store(_)) {
+            cost += cfg.t_rmw_ns;
+        }
+    }
+
+    let prev = state.value;
+    let mut cas_failed = false;
+    let value = match op {
+        MemOp::Load => Ok(prev),
+        MemOp::Store(v) => {
+            state.value = v;
+            Ok(prev)
+        }
+        MemOp::CompareExchange { current, new } => {
+            if prev == current {
+                state.value = new;
+                Ok(prev)
+            } else {
+                cas_failed = true;
+                Err(prev)
+            }
+        }
+        MemOp::Swap(v) => {
+            state.value = v;
+            Ok(prev)
+        }
+        MemOp::FetchAdd(d) => {
+            state.value = prev.wrapping_add(d);
+            Ok(prev)
+        }
+    };
+    process.ops += 1;
+    if cas_failed {
+        process.cas_failures += 1;
+    }
+    (MemResult { value, cas_failed }, cost)
+}
+
+/// Advances one processor's clock by `cost` and performs quantum
+/// accounting, mutating nothing outside that processor. Shared by both
+/// backends for the same reason as [`apply_parts`].
+pub(crate) fn charge_parts(cfg: &SimConfig, processor: &mut Processor, pid: usize, cost: u64) {
+    processor.clock_ns += cost;
+    if processor.run_queue.len() > 1 {
+        processor.quantum_left_ns = processor.quantum_left_ns.saturating_sub(cost);
+        if processor.quantum_left_ns == 0 {
+            let front = processor.run_queue.pop_front().expect("non-empty");
+            debug_assert_eq!(front, pid);
+            processor.run_queue.push_back(front);
+            processor.clock_ns += cfg.ctx_switch_ns;
+            processor.quantum_left_ns = processor.next_quantum(cfg.quantum_ns);
+            processor.preemptions += 1;
+        }
+    }
 }
 
 impl Core {
-    fn new(cfg: SimConfig, fault_slots: usize) -> Self {
+    pub(crate) fn new(cfg: SimConfig, fault_slots: usize) -> Self {
         cfg.validate();
         let n = cfg.num_processes();
         let mut processors: Vec<Processor> = (0..cfg.processors)
@@ -144,6 +272,7 @@ impl Core {
                     run_queue: VecDeque::new(),
                     quantum_left_ns: cfg.quantum_ns,
                     rng,
+                    preemptions: 0,
                 }
             })
             .collect();
@@ -173,7 +302,6 @@ impl Core {
             running: NOBODY,
             live: n,
             started: false,
-            preemptions: 0,
             trace: Vec::new(),
             fault_fired: vec![false; fault_slots],
             killed: Vec::new(),
@@ -183,79 +311,28 @@ impl Core {
         }
     }
 
-    fn alloc_cell(&mut self, init: u64) -> u32 {
+    pub(crate) fn alloc_cell(&mut self, init: u64) -> u32 {
         let id = self.cells.len();
         assert!(id < u32::MAX as usize, "simulated memory exhausted");
         self.cells.push(CellState {
             value: init,
-            sharers: 0,
+            sharers: SharerSet::EMPTY,
         });
         id as u32
     }
 
     /// Applies `op` to cell `cell` on behalf of `pid`, returning the result
     /// and the virtual-time cost under the coherence model.
-    fn apply(&mut self, pid: usize, cell: u32, op: MemOp) -> (MemResult, u64) {
+    pub(crate) fn apply(&mut self, pid: usize, cell: u32, op: MemOp) -> (MemResult, u64) {
         let cpu = self.processes[pid].cpu;
-        let my_bit = 1u64 << cpu;
-        let state = &mut self.cells[cell as usize];
-        let mut cost = self.cfg.t_local_ns;
-
-        let is_read_only = matches!(op, MemOp::Load);
-        if is_read_only {
-            if state.sharers & my_bit != 0 {
-                cost += self.cfg.t_hit_ns;
-                self.processes[pid].cache_hits += 1;
-            } else {
-                cost += self.cfg.t_miss_ns;
-                self.processes[pid].cache_misses += 1;
-            }
-            state.sharers |= my_bit;
-        } else {
-            let others = (state.sharers & !my_bit).count_ones() as u64;
-            if state.sharers == my_bit {
-                cost += self.cfg.t_hit_ns;
-                self.processes[pid].cache_hits += 1;
-            } else {
-                cost += self.cfg.t_miss_ns + self.cfg.t_inval_ns * others;
-                self.processes[pid].cache_misses += 1;
-            }
-            state.sharers = my_bit;
-            if !matches!(op, MemOp::Store(_)) {
-                cost += self.cfg.t_rmw_ns;
-            }
-        }
-
-        let prev = state.value;
-        let mut cas_failed = false;
-        let value = match op {
-            MemOp::Load => Ok(prev),
-            MemOp::Store(v) => {
-                state.value = v;
-                Ok(prev)
-            }
-            MemOp::CompareExchange { current, new } => {
-                if prev == current {
-                    state.value = new;
-                    Ok(prev)
-                } else {
-                    cas_failed = true;
-                    Err(prev)
-                }
-            }
-            MemOp::Swap(v) => {
-                state.value = v;
-                Ok(prev)
-            }
-            MemOp::FetchAdd(d) => {
-                state.value = prev.wrapping_add(d);
-                Ok(prev)
-            }
-        };
-        self.processes[pid].ops += 1;
-        if cas_failed {
-            self.processes[pid].cas_failures += 1;
-        }
+        let (result, cost) = apply_parts(
+            &self.cfg,
+            &mut self.cells[cell as usize],
+            &mut self.processes[pid],
+            cpu,
+            op,
+        );
+        let cas_failed = result.cas_failed;
         if self.trace.len() < self.cfg.trace_capacity {
             self.trace.push(crate::report::TraceEvent {
                 at_ns: self.processors[cpu].clock_ns,
@@ -273,37 +350,24 @@ impl Core {
                 },
             });
         }
-        (MemResult { value, cas_failed }, cost)
+        (result, cost)
     }
 
     /// Reads a cell without charging time (setup / post-run inspection).
-    fn peek(&self, cell: u32) -> u64 {
+    pub(crate) fn peek(&self, cell: u32) -> u64 {
         self.cells[cell as usize].value
     }
 
     /// Writes a cell without charging time (setup only).
-    fn poke(&mut self, cell: u32, value: u64) {
+    pub(crate) fn poke(&mut self, cell: u32, value: u64) {
         self.cells[cell as usize].value = value;
     }
 
     /// Advances `pid`'s processor clock by `cost` and performs quantum
     /// accounting (round-robin rotation with context-switch cost).
-    fn charge(&mut self, pid: usize, cost: u64) {
+    pub(crate) fn charge(&mut self, pid: usize, cost: u64) {
         let cpu = self.processes[pid].cpu;
-        let processor = &mut self.processors[cpu];
-        processor.clock_ns += cost;
-        if processor.run_queue.len() > 1 {
-            processor.quantum_left_ns = processor.quantum_left_ns.saturating_sub(cost);
-            if processor.quantum_left_ns == 0 {
-                let front = processor.run_queue.pop_front().expect("non-empty");
-                debug_assert_eq!(front, pid);
-                processor.run_queue.push_back(front);
-                processor.clock_ns += self.cfg.ctx_switch_ns;
-                let base = self.cfg.quantum_ns;
-                processor.quantum_left_ns = processor.next_quantum(base);
-                self.preemptions += 1;
-            }
-        }
+        charge_parts(&self.cfg, &mut self.processors[cpu], pid, cost);
     }
 
     /// Picks the next process to hold the token: the front of the run queue
@@ -316,7 +380,7 @@ impl Core {
     /// chosen processor idles — its clock jumps to the stall's end. With
     /// no faults every `blocked_until_ns` is zero and this reduces exactly
     /// to the historical least-advanced-clock rule.
-    fn pick_next(&mut self) -> usize {
+    pub(crate) fn pick_next(&mut self) -> usize {
         for cpu in 0..self.processors.len() {
             let clock = self.processors[cpu].clock_ns;
             let queue_len = self.processors[cpu].run_queue.len();
@@ -367,7 +431,7 @@ impl Core {
         }
     }
 
-    fn remove_process(&mut self, pid: usize) {
+    pub(crate) fn remove_process(&mut self, pid: usize) {
         let cpu = self.processes[pid].cpu;
         self.processes[pid].finished = true;
         self.processes[pid].finished_at_ns = self.processors[cpu].clock_ns;
@@ -382,7 +446,7 @@ impl Core {
     /// setup-mode semantics, used for post-mortem accesses from a killed
     /// process's unwind path (destructors must not deadlock on a token
     /// that will never come back).
-    fn apply_direct(&mut self, cell: u32, op: MemOp) -> Result<u64, u64> {
+    pub(crate) fn apply_direct(&mut self, cell: u32, op: MemOp) -> Result<u64, u64> {
         let prev = self.cells[cell as usize].value;
         match op {
             MemOp::Load => Ok(prev),
@@ -407,7 +471,7 @@ impl Core {
 
     /// Returns the 0-based index of this hit of `label` by `pid` and
     /// advances the per-process counter.
-    fn next_label_hit(&mut self, pid: usize, label: &'static str) -> u64 {
+    pub(crate) fn next_label_hit(&mut self, pid: usize, label: &'static str) -> u64 {
         let hits = &mut self.processes[pid].label_hits;
         if let Some(entry) = hits.iter_mut().find(|(l, _)| *l == label) {
             let n = entry.1;
@@ -416,6 +480,46 @@ impl Core {
         } else {
             hits.push((label, 1));
             0
+        }
+    }
+
+    /// Builds the final [`crate::report::SimReport`] from the core state.
+    /// Both backends report through this one function, so the byte-identity
+    /// contract reduces to "both backends leave the core in the same
+    /// state".
+    pub(crate) fn snapshot_report(&self) -> crate::report::SimReport {
+        crate::report::SimReport {
+            elapsed_ns: self
+                .processors
+                .iter()
+                .map(|p| p.clock_ns)
+                .max()
+                .unwrap_or(0),
+            per_processor_ns: self.processors.iter().map(|p| p.clock_ns).collect(),
+            total_ops: self.processes.iter().map(|p| p.ops).sum(),
+            cache_hits: self.processes.iter().map(|p| p.cache_hits).sum(),
+            cache_misses: self.processes.iter().map(|p| p.cache_misses).sum(),
+            cas_failures: self.processes.iter().map(|p| p.cas_failures).sum(),
+            preemptions: self.processors.iter().map(|p| p.preemptions).sum(),
+            per_process: self
+                .processes
+                .iter()
+                .enumerate()
+                .map(|(pid, p)| crate::report::ProcessReport {
+                    pid,
+                    processor: p.cpu,
+                    ops: p.ops,
+                    cache_hits: p.cache_hits,
+                    cache_misses: p.cache_misses,
+                    cas_failures: p.cas_failures,
+                    finished_at_ns: p.finished_at_ns,
+                })
+                .collect(),
+            trace: self.trace.clone(),
+            killed: self.killed.clone(),
+            blocked: self.blocked.clone(),
+            stalls_injected: self.stalls_injected,
+            preempts_injected: self.preempts_injected,
         }
     }
 }
@@ -432,10 +536,6 @@ pub(crate) struct SimShared {
 }
 
 impl SimShared {
-    pub fn new(cfg: SimConfig) -> Self {
-        Self::with_plan(cfg, FaultPlan::new())
-    }
-
     pub fn with_plan(cfg: SimConfig, plan: FaultPlan) -> Self {
         let n = cfg.num_processes();
         for spec in &plan.specs {
@@ -593,13 +693,7 @@ impl SimShared {
         pid: usize,
         matches: impl Fn(&FaultTrigger) -> bool,
     ) -> Option<FaultAction> {
-        for (i, spec) in self.plan.specs.iter().enumerate() {
-            if spec.pid == pid && !core.fault_fired[i] && matches(&spec.trigger) {
-                core.fault_fired[i] = true;
-                return Some(spec.action);
-            }
-        }
-        None
+        crate::fault::take_matching_fault(&self.plan, &mut core.fault_fired, pid, matches)
     }
 
     /// Applies a fired fault to `pid` (which holds the token). Kill never
@@ -624,11 +718,11 @@ impl SimShared {
             }
             FaultAction::Preempt => {
                 core.preempts_injected += 1;
-                core.preemptions += 1;
                 let cpu = core.processes[pid].cpu;
                 let ctx = core.cfg.ctx_switch_ns;
                 let base = core.cfg.quantum_ns;
                 let processor = &mut core.processors[cpu];
+                processor.preemptions += 1;
                 if processor.run_queue.len() > 1 {
                     let front = processor.run_queue.pop_front().expect("non-empty");
                     debug_assert_eq!(front, pid);
@@ -689,40 +783,7 @@ impl SimShared {
 
     /// Collects final statistics (coordinator, after `wait_all_done`).
     pub fn snapshot(&self) -> crate::report::SimReport {
-        let core = self.core.lock().expect("sim lock");
-        crate::report::SimReport {
-            elapsed_ns: core
-                .processors
-                .iter()
-                .map(|p| p.clock_ns)
-                .max()
-                .unwrap_or(0),
-            per_processor_ns: core.processors.iter().map(|p| p.clock_ns).collect(),
-            total_ops: core.processes.iter().map(|p| p.ops).sum(),
-            cache_hits: core.processes.iter().map(|p| p.cache_hits).sum(),
-            cache_misses: core.processes.iter().map(|p| p.cache_misses).sum(),
-            cas_failures: core.processes.iter().map(|p| p.cas_failures).sum(),
-            preemptions: core.preemptions,
-            per_process: core
-                .processes
-                .iter()
-                .enumerate()
-                .map(|(pid, p)| crate::report::ProcessReport {
-                    pid,
-                    processor: p.cpu,
-                    ops: p.ops,
-                    cache_hits: p.cache_hits,
-                    cache_misses: p.cache_misses,
-                    cas_failures: p.cas_failures,
-                    finished_at_ns: p.finished_at_ns,
-                })
-                .collect(),
-            trace: core.trace.clone(),
-            killed: core.killed.clone(),
-            blocked: core.blocked.clone(),
-            stalls_injected: core.stalls_injected,
-            preempts_injected: core.preempts_injected,
-        }
+        self.core.lock().expect("sim lock").snapshot_report()
     }
 
     fn wait_for_token(&self, pid: usize) -> std::sync::MutexGuard<'_, Core> {
@@ -834,7 +895,7 @@ mod tests {
         core.charge(0, 100); // exactly exhausts the quantum
         assert_eq!(core.processors[0].run_queue.front(), Some(&1));
         assert_eq!(core.processors[0].clock_ns, 107);
-        assert_eq!(core.preemptions, 1);
+        assert_eq!(core.processors[0].preemptions, 1);
     }
 
     #[test]
@@ -847,7 +908,7 @@ mod tests {
         };
         let mut core = Core::new(cfg, 0);
         core.charge(0, 1_000_000);
-        assert_eq!(core.preemptions, 0);
+        assert_eq!(core.processors[0].preemptions, 0);
         assert_eq!(core.processors[0].run_queue.front(), Some(&0));
     }
 

@@ -1,0 +1,150 @@
+//! Backend dispatch: one enum in front of the serial token scheduler and
+//! the frame-stepped engine, so [`crate::SimPlatform`] and
+//! [`crate::Simulation`] are backend-agnostic.
+
+use crate::config::SimConfig;
+use crate::core::{MemOp, SimShared};
+use crate::fault::FaultPlan;
+use crate::frame::FrameShared;
+use crate::report::SimReport;
+
+/// The two execution backends behind a [`crate::Simulation`]. Both
+/// produce byte-identical [`SimReport`]s for any configuration and fault
+/// plan (test-enforced); they differ only in how the host computes the
+/// run.
+pub(crate) enum EngineShared {
+    /// The serial token scheduler: one process at a time holds the
+    /// execution token and applies its own entries under the core mutex.
+    Token(SimShared),
+    /// The frame-stepped engine: processes park entries; a central
+    /// engine (plus `workers - 1` helper threads) commits them.
+    Frames(FrameShared),
+}
+
+impl EngineShared {
+    /// Builds the backend selected by `cfg.sim_workers` (falling back to
+    /// the `MSQ_SIM_WORKERS` environment variable): `0` is the serial
+    /// token backend, `n >= 1` the frame engine with `n` commit workers.
+    pub fn build(cfg: SimConfig, plan: FaultPlan) -> EngineShared {
+        match resolve_workers(&cfg) {
+            0 => EngineShared::Token(SimShared::with_plan(cfg, plan)),
+            n => EngineShared::Frames(FrameShared::new(cfg, plan, n)),
+        }
+    }
+
+    pub fn config(&self) -> SimConfig {
+        match self {
+            EngineShared::Token(s) => s.config(),
+            EngineShared::Frames(s) => s.config(),
+        }
+    }
+
+    pub fn alloc_cell(&self, init: u64) -> u32 {
+        match self {
+            EngineShared::Token(s) => s.alloc_cell(init),
+            EngineShared::Frames(s) => s.alloc_cell(init),
+        }
+    }
+
+    pub fn peek(&self, cell: u32) -> u64 {
+        match self {
+            EngineShared::Token(s) => s.peek(cell),
+            EngineShared::Frames(s) => s.peek(cell),
+        }
+    }
+
+    pub fn poke(&self, cell: u32, value: u64) {
+        match self {
+            EngineShared::Token(s) => s.poke(cell, value),
+            EngineShared::Frames(s) => s.poke(cell, value),
+        }
+    }
+
+    pub fn mem_op(&self, pid: usize, cell: u32, op: MemOp) -> Result<u64, u64> {
+        match self {
+            EngineShared::Token(s) => s.mem_op(pid, cell, op),
+            EngineShared::Frames(s) => s.mem_op(pid, cell, op),
+        }
+    }
+
+    pub fn delay(&self, pid: usize, nanos: u64) {
+        match self {
+            EngineShared::Token(s) => s.delay(pid, nanos),
+            EngineShared::Frames(s) => s.delay(pid, nanos),
+        }
+    }
+
+    pub fn fault_point(&self, pid: usize, label: &'static str) {
+        match self {
+            EngineShared::Token(s) => s.fault_point(pid, label),
+            EngineShared::Frames(s) => s.fault_point(pid, label),
+        }
+    }
+
+    pub fn finish(&self, pid: usize) {
+        match self {
+            EngineShared::Token(s) => s.finish(pid),
+            EngineShared::Frames(s) => s.finish(pid),
+        }
+    }
+
+    /// Drives the run to completion from the coordinator thread. For the
+    /// token backend this seats the first token holder and waits; for the
+    /// frame engine it runs the commit loop in place.
+    pub fn run_to_completion(&self) {
+        match self {
+            EngineShared::Token(s) => {
+                s.start();
+                s.wait_all_done();
+            }
+            EngineShared::Frames(s) => s.drive(),
+        }
+    }
+
+    pub fn snapshot(&self) -> SimReport {
+        match self {
+            EngineShared::Token(s) => s.snapshot(),
+            EngineShared::Frames(s) => s.snapshot(),
+        }
+    }
+}
+
+/// Resolves the effective commit-worker count for `cfg`: the explicit
+/// [`SimConfig::sim_workers`] if set, else `MSQ_SIM_WORKERS`, else `0`
+/// (the serial token backend).
+///
+/// # Panics
+///
+/// Panics if `MSQ_SIM_WORKERS` is set but not a non-negative integer.
+pub(crate) fn resolve_workers(cfg: &SimConfig) -> usize {
+    match cfg.sim_workers {
+        Some(n) => n.min(256),
+        None => env_workers(),
+    }
+}
+
+/// The worker count `MSQ_SIM_WORKERS` selects for configs that leave
+/// [`SimConfig::sim_workers`] unset (`0` = serial token backend). Exposed
+/// so sweep failure reports can name the backend a repro needs.
+pub fn env_workers() -> usize {
+    match std::env::var("MSQ_SIM_WORKERS") {
+        Ok(raw) => raw
+            .trim()
+            .parse::<usize>()
+            .unwrap_or_else(|_| {
+                panic!("MSQ_SIM_WORKERS must be a non-negative integer, got {raw:?}")
+            })
+            .min(256),
+        Err(_) => 0,
+    }
+}
+
+/// Human-readable backend label for `workers` commit workers, used in
+/// sweep failure reports.
+pub(crate) fn backend_label(workers: usize) -> String {
+    if workers == 0 {
+        "serial token backend".to_string()
+    } else {
+        format!("frame-stepped backend, {workers} workers")
+    }
+}

@@ -1,0 +1,761 @@
+//! The frame-stepped execution backend.
+//!
+//! The serial backend hands an execution token from process to process;
+//! whichever process holds the token applies its own scheduler entry
+//! under the core mutex. This backend inverts that: every process thread
+//! *parks* its next scheduler entry (memory op, delay, fault point, or
+//! finish) into a per-process slot and blocks; a single engine loop —
+//! run on the coordinator thread by [`crate::Simulation::run`] — commits
+//! parked entries against the same [`Core`] in the same order the serial
+//! scheduler would, posting each result back to its process.
+//!
+//! Centralizing commits buys two things:
+//!
+//! 1. **Frame rounds.** On an unfaulted, untraced run every processor's
+//!    front entry whose ready time equals the global minimum `m` is
+//!    committed this frame: serial order commits exactly those entries,
+//!    in ascending processor index, and each costs ≥ 1 ns, so none of
+//!    them can re-enter before the round drains (DESIGN.md §12 has the
+//!    full argument). Tied entries touching different cells commute, so
+//!    the engine buckets them into per-cell commit groups and the commit
+//!    workers claim groups off an atomic cursor, applying
+//!    [`apply_parts`]/[`charge_parts`] to disjoint slices of the core.
+//!    The frame barrier (all groups committed, all workers checked in)
+//!    is the only point where effects become visible, so the commit
+//!    order — and therefore every [`crate::SimReport`] — is
+//!    byte-identical to the serial backend regardless of worker count.
+//! 2. **A sequential fallback that is a transliteration, not a
+//!    re-derivation.** Faulted, watchdogged, traced, or zero-cost runs
+//!    are driven one entry at a time through the exact serial logic
+//!    (same [`Core::pick_next`], same fault resolution, same charge), so
+//!    the determinism contract holds trivially there.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::config::SimConfig;
+use crate::core::{
+    apply_parts, charge_parts, CellState, Core, MemOp, Process, ProcessKilled, Processor, NOBODY,
+};
+use crate::fault::{take_matching_fault, FaultAction, FaultPlan, FaultTrigger};
+
+/// One parked scheduler entry.
+#[derive(Clone, Copy, Debug)]
+enum Entry {
+    /// A shared-memory operation against one cell.
+    Mem { cell: u32, op: MemOp },
+    /// A pure virtual-time delay.
+    Delay(u64),
+    /// A labelled fault point (parked only when the plan watches labels
+    /// for this process).
+    Label(&'static str),
+    /// Process retirement.
+    Finish,
+}
+
+/// What the engine posts back to a parked process.
+#[derive(Clone, Copy, Debug)]
+enum EntryResult {
+    /// A memory operation's value (CAS failure carried in `Err`).
+    Value(Result<u64, u64>),
+    /// A delay, fault point, or finish completed.
+    Done,
+    /// The fault layer (or watchdog) retired this process mid-entry; the
+    /// process thread unwinds with [`ProcessKilled`].
+    Killed,
+}
+
+/// Per-process parking slot.
+#[derive(Default)]
+struct Slot {
+    entry: Option<Entry>,
+    /// The entry's once-per-entry resolution (watchdog check, step/label
+    /// counter advance) already ran; a stall or preempt returned the
+    /// entry to the parked state without committing it.
+    step_resolved: bool,
+    /// The step ordinal (op entries) or label-hit ordinal (label
+    /// entries) fixed at first resolution, so re-picks after a stall or
+    /// preempt keep matching the same fault triggers.
+    step_index: u64,
+    result: Option<EntryResult>,
+}
+
+/// Everything the engine mutates, under one mutex: the scheduler core
+/// plus the parking board.
+struct FrameCore {
+    core: Core,
+    slots: Vec<Slot>,
+}
+
+/// Outcome of a single-entry commit attempt.
+enum Commit {
+    /// Entry committed (or its process retired); pick freshly next loop.
+    Done,
+    /// A stall or preempt returned the entry to the parked state; pick
+    /// freshly (the fault just changed what `pick_next` sees).
+    Yielded,
+    /// A label entry fully resolved: the process keeps the figurative
+    /// token (serial `fault_point` charges nothing and does not
+    /// re-pick), so its next entry must commit before anyone else runs.
+    Sticky,
+}
+
+/// One item of a frame round: processor `cpu`'s front process `pid`
+/// committing `entry`.
+#[derive(Clone, Copy)]
+struct RoundItem {
+    pid: usize,
+    cpu: usize,
+    entry: Entry,
+}
+
+/// The work one frame round hands to the commit workers: raw pointers
+/// into the [`FrameCore`] (valid because the engine holds the state
+/// mutex for the round's whole lifetime, so nothing reallocates or
+/// aliases them) plus the commit groups.
+///
+/// Disjointness: each group owns one cell (or is a lone delay), and each
+/// [`RoundItem`] appears in exactly one group and names a distinct
+/// (pid, cpu) pair — a processor has one front — so no two workers ever
+/// form references to the same element.
+struct RoundWork {
+    cfg: SimConfig,
+    cells: *mut CellState,
+    processes: *mut Process,
+    processors: *mut Processor,
+    slots: *mut Slot,
+    groups: Vec<Vec<RoundItem>>,
+}
+
+impl RoundWork {
+    fn empty() -> RoundWork {
+        RoundWork {
+            cfg: SimConfig::default(),
+            cells: std::ptr::null_mut(),
+            processes: std::ptr::null_mut(),
+            processors: std::ptr::null_mut(),
+            slots: std::ptr::null_mut(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Commits one group sequentially in processor-index order — the
+    /// serial commit order for tied entries on the same cell.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold the round's exclusivity guarantees: the engine
+    /// keeps the state mutex locked for the round's lifetime, and
+    /// `group` is disjoint from every other group being committed.
+    unsafe fn commit_group(&self, group: &[RoundItem]) {
+        for item in group {
+            let process = &mut *self.processes.add(item.pid);
+            let processor = &mut *self.processors.add(item.cpu);
+            let slot = &mut *self.slots.add(item.pid);
+            match item.entry {
+                Entry::Mem { cell, op } => {
+                    let state = &mut *self.cells.add(cell as usize);
+                    let (result, cost) = apply_parts(&self.cfg, state, process, item.cpu, op);
+                    charge_parts(&self.cfg, processor, item.pid, cost);
+                    slot.result = Some(EntryResult::Value(result.value));
+                }
+                Entry::Delay(nanos) => {
+                    charge_parts(&self.cfg, processor, item.pid, nanos);
+                    slot.result = Some(EntryResult::Done);
+                }
+                Entry::Label(_) | Entry::Finish => {
+                    unreachable!("zero-cost entries never enter a frame round")
+                }
+            }
+        }
+    }
+}
+
+/// Worker-pool round control: the engine bumps `generation` to publish a
+/// round, helpers claim groups off `cursor`, and the engine waits at the
+/// frame barrier until every helper has checked back in.
+struct RoundCtl {
+    generation: u64,
+    shutdown: bool,
+    /// Helpers still committing the current generation.
+    remaining: usize,
+}
+
+struct PoolShared {
+    ctl: Mutex<RoundCtl>,
+    start_cv: Condvar,
+    done_cv: Condvar,
+    /// The atomic cursor workers claim commit-group indices from.
+    cursor: AtomicUsize,
+    /// The published round. Written by the engine strictly before the
+    /// generation bump and read by helpers strictly after observing it
+    /// (and quiesced again before the barrier releases), so the control
+    /// mutex provides the happens-before edges.
+    work: UnsafeCell<RoundWork>,
+}
+
+// Safety: `work` is only written while no helper is inside a round
+// (between barriers) and only read between a generation bump and the
+// matching check-in; both transitions synchronize through `ctl`. The raw
+// pointers inside target disjoint indices per the RoundWork contract.
+unsafe impl Send for PoolShared {}
+unsafe impl Sync for PoolShared {}
+
+struct Pool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    fn spawn(helpers: usize) -> Pool {
+        let shared = Arc::new(PoolShared {
+            ctl: Mutex::new(RoundCtl {
+                generation: 0,
+                shutdown: false,
+                remaining: 0,
+            }),
+            start_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+            work: UnsafeCell::new(RoundWork::empty()),
+        });
+        let handles = (0..helpers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sim-frame-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn frame worker")
+            })
+            .collect();
+        Pool { shared, handles }
+    }
+
+    /// Runs one frame round: helpers and the calling engine thread claim
+    /// groups off the cursor; returns only after every helper has
+    /// checked in — the frame barrier.
+    fn run_round(&self, work: RoundWork) {
+        let helpers = self.handles.len();
+        self.shared.cursor.store(0, Ordering::Relaxed);
+        // Safety: no helper is in a round (the previous barrier completed
+        // before the previous `run_round` returned), so the engine is the
+        // sole accessor of `work` right now.
+        unsafe { *self.shared.work.get() = work };
+        {
+            let mut ctl = self.shared.ctl.lock().expect("pool lock");
+            ctl.remaining = helpers;
+            ctl.generation += 1;
+            self.shared.start_cv.notify_all();
+        }
+        // The engine participates too: claim groups alongside helpers.
+        // Safety: between the generation bump and the barrier, `work` is
+        // read-only for everyone.
+        let work = unsafe { &*self.shared.work.get() };
+        loop {
+            let group = self.shared.cursor.fetch_add(1, Ordering::Relaxed);
+            if group >= work.groups.len() {
+                break;
+            }
+            unsafe { work.commit_group(&work.groups[group]) };
+        }
+        let mut ctl = self.shared.ctl.lock().expect("pool lock");
+        while ctl.remaining > 0 {
+            ctl = self.shared.done_cv.wait(ctl).expect("pool lock");
+        }
+    }
+
+    fn shutdown(mut self) {
+        {
+            let mut ctl = self.shared.ctl.lock().expect("pool lock");
+            ctl.shutdown = true;
+            self.shared.start_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut seen_generation = 0u64;
+    loop {
+        {
+            let mut ctl = shared.ctl.lock().expect("pool lock");
+            while ctl.generation == seen_generation && !ctl.shutdown {
+                ctl = shared.start_cv.wait(ctl).expect("pool lock");
+            }
+            if ctl.shutdown {
+                return;
+            }
+            seen_generation = ctl.generation;
+        }
+        // Safety: the engine published `work` before the generation bump
+        // we just observed under the lock, and will not touch it again
+        // until after our check-in below.
+        let work = unsafe { &*shared.work.get() };
+        loop {
+            let group = shared.cursor.fetch_add(1, Ordering::Relaxed);
+            if group >= work.groups.len() {
+                break;
+            }
+            unsafe { work.commit_group(&work.groups[group]) };
+        }
+        let mut ctl = shared.ctl.lock().expect("pool lock");
+        ctl.remaining -= 1;
+        if ctl.remaining == 0 {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+/// Shared state of a frame-stepped simulation: the core + parking board
+/// under one mutex, a condvar the engine sleeps on while waiting for
+/// parks, and one result condvar per process.
+pub(crate) struct FrameShared {
+    state: Mutex<FrameCore>,
+    /// The run's fault schedule (immutable; empty by default). Kept
+    /// outside the mutex so `fault_point` can precheck without locking.
+    plan: FaultPlan,
+    park_cv: Condvar,
+    result_cv: Vec<Condvar>,
+    /// Total commit workers (engine thread + pool helpers) for frame
+    /// rounds.
+    workers: usize,
+}
+
+impl FrameShared {
+    pub fn new(cfg: SimConfig, plan: FaultPlan, workers: usize) -> Self {
+        let n = cfg.num_processes();
+        for spec in &plan.specs {
+            assert!(
+                spec.pid < n,
+                "fault plan targets pid {} but the simulation has {n} processes",
+                spec.pid
+            );
+        }
+        let fault_slots = plan.specs.len();
+        FrameShared {
+            state: Mutex::new(FrameCore {
+                core: Core::new(cfg, fault_slots),
+                slots: (0..n).map(|_| Slot::default()).collect(),
+            }),
+            plan,
+            park_cv: Condvar::new(),
+            result_cv: (0..n).map(|_| Condvar::new()).collect(),
+            workers: workers.clamp(1, 256),
+        }
+    }
+
+    pub fn config(&self) -> SimConfig {
+        self.state.lock().expect("sim lock").core.cfg
+    }
+
+    pub fn alloc_cell(&self, init: u64) -> u32 {
+        self.state.lock().expect("sim lock").core.alloc_cell(init)
+    }
+
+    pub fn peek(&self, cell: u32) -> u64 {
+        self.state.lock().expect("sim lock").core.peek(cell)
+    }
+
+    pub fn poke(&self, cell: u32, value: u64) {
+        self.state.lock().expect("sim lock").core.poke(cell, value);
+    }
+
+    pub fn snapshot(&self) -> crate::report::SimReport {
+        self.state.lock().expect("sim lock").core.snapshot_report()
+    }
+
+    // --- Process-side entry points (mirror `SimShared`'s surface). ---
+
+    pub fn mem_op(&self, pid: usize, cell: u32, op: MemOp) -> Result<u64, u64> {
+        let mut guard = self.state.lock().expect("sim lock");
+        if guard.core.processes[pid].finished {
+            // Post-mortem access from a killed process's unwind path.
+            return guard.core.apply_direct(cell, op);
+        }
+        match self.park_locked(guard, pid, Entry::Mem { cell, op }) {
+            EntryResult::Value(v) => v,
+            EntryResult::Killed => std::panic::resume_unwind(Box::new(ProcessKilled)),
+            EntryResult::Done => unreachable!("memory entries produce values"),
+        }
+    }
+
+    pub fn delay(&self, pid: usize, nanos: u64) {
+        let guard = self.state.lock().expect("sim lock");
+        if guard.core.processes[pid].finished {
+            return;
+        }
+        match self.park_locked(guard, pid, Entry::Delay(nanos)) {
+            EntryResult::Done => {}
+            EntryResult::Killed => std::panic::resume_unwind(Box::new(ProcessKilled)),
+            EntryResult::Value(_) => unreachable!("delays produce no value"),
+        }
+    }
+
+    pub fn fault_point(&self, pid: usize, label: &'static str) {
+        if !self.plan.watches_labels(pid) {
+            return;
+        }
+        let guard = self.state.lock().expect("sim lock");
+        if guard.core.processes[pid].finished {
+            return;
+        }
+        match self.park_locked(guard, pid, Entry::Label(label)) {
+            EntryResult::Done => {}
+            EntryResult::Killed => std::panic::resume_unwind(Box::new(ProcessKilled)),
+            EntryResult::Value(_) => unreachable!("fault points produce no value"),
+        }
+    }
+
+    pub fn finish(&self, pid: usize) {
+        let guard = self.state.lock().expect("sim lock");
+        if guard.core.processes[pid].finished {
+            return;
+        }
+        match self.park_locked(guard, pid, Entry::Finish) {
+            EntryResult::Done => {}
+            // Finish entries resolve no faults — the serial backend's
+            // `finish` never consults the plan either.
+            other => unreachable!("finish entries complete with Done, got {other:?}"),
+        }
+    }
+
+    /// Parks `entry` for `pid`, wakes the engine, and blocks until the
+    /// engine posts the entry's result.
+    fn park_locked(
+        &self,
+        mut guard: MutexGuard<'_, FrameCore>,
+        pid: usize,
+        entry: Entry,
+    ) -> EntryResult {
+        let slot = &mut guard.slots[pid];
+        debug_assert!(slot.entry.is_none(), "process {pid} double-parked");
+        debug_assert!(slot.result.is_none());
+        slot.entry = Some(entry);
+        slot.step_resolved = false;
+        slot.step_index = 0;
+        self.park_cv.notify_one();
+        loop {
+            if let Some(result) = guard.slots[pid].result.take() {
+                guard.slots[pid].entry = None;
+                return result;
+            }
+            guard = self.result_cv[pid].wait(guard).expect("sim lock");
+        }
+    }
+
+    // --- The engine (runs on the coordinator thread). ---
+
+    /// Drives the simulation to completion: commits parked entries in
+    /// the serial schedule order (frame rounds where sound, single
+    /// steps elsewhere) until every process has retired.
+    pub fn drive(&self) {
+        // Frame rounds are only attempted when the whole run is known
+        // to be free of per-entry side conditions: no faults (label
+        // entries, step counting, stalls that bend `pick_next`), no
+        // watchdog, no trace (trace order is global), and a nonzero
+        // floor cost per memory entry (a zero-cost commit could legally
+        // re-enter before its round-mates — DESIGN.md §12).
+        let cfg = self.config();
+        let sequential = !self.plan.is_empty()
+            || cfg.watchdog_ns > 0
+            || cfg.trace_capacity > 0
+            || cfg.t_local_ns == 0;
+        let pool = (!sequential && self.workers > 1).then(|| Pool::spawn(self.workers - 1));
+
+        let mut sticky: Option<usize> = None;
+        let mut guard = self.state.lock().expect("sim lock");
+        loop {
+            if guard.core.live == 0 {
+                break;
+            }
+            if !sequential && sticky.is_none() {
+                let (g, round) = self.try_frame_round(guard, pool.as_ref());
+                guard = g;
+                if let Some(round) = round {
+                    for item in &round {
+                        self.result_cv[item.pid].notify_one();
+                    }
+                    continue;
+                }
+            }
+            let pid = match sticky.take() {
+                Some(pid) => pid,
+                None => guard.core.pick_next(),
+            };
+            if pid == NOBODY {
+                break;
+            }
+            guard = self.wait_parked(guard, pid);
+            match self.commit_one(&mut guard, pid) {
+                Commit::Sticky => sticky = Some(pid),
+                Commit::Done | Commit::Yielded => {}
+            }
+        }
+        drop(guard);
+        if let Some(pool) = pool {
+            pool.shutdown();
+        }
+    }
+
+    /// Attempts one frame round. If at least two processors' fronts are
+    /// tied at the minimum clock and every tied entry is committable in
+    /// parallel (memory op, or delay with nonzero cost), commits them
+    /// all — grouped by cell — and returns the round's items so the
+    /// engine can wake their processes. Returns `None` when the round
+    /// must degrade to a single serial step (a lone tied front, a
+    /// finish, or a zero-cost delay).
+    fn try_frame_round<'a>(
+        &'a self,
+        mut guard: MutexGuard<'a, FrameCore>,
+        pool: Option<&Pool>,
+    ) -> (MutexGuard<'a, FrameCore>, Option<Vec<RoundItem>>) {
+        // Unfaulted runs never set `blocked_until_ns`, so readiness is
+        // the processor clock and `pick_next`'s stall handling is a
+        // no-op: the tied set below is exactly the serial pick order's
+        // next |tied| commits, in ascending cpu, provided every entry
+        // costs ≥ 1 (each commit pushes its processor's clock past `m`,
+        // so no committed front can be re-picked before the others).
+        let Some(m) = guard
+            .core
+            .processors
+            .iter()
+            .filter(|p| !p.run_queue.is_empty())
+            .map(|p| p.clock_ns)
+            .min()
+        else {
+            return (guard, None);
+        };
+        let tied: Vec<(usize, usize)> = guard
+            .core
+            .processors
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.clock_ns == m && !p.run_queue.is_empty())
+            .map(|(cpu, p)| (cpu, *p.run_queue.front().expect("non-empty")))
+            .collect();
+        if tied.len() < 2 {
+            return (guard, None);
+        }
+        // Every tied front must be parked before the round can be
+        // classified. Host parking order is nondeterministic; the
+        // classification (and everything after it) is not.
+        loop {
+            let all_parked = tied.iter().all(|&(_, pid)| {
+                let slot = &guard.slots[pid];
+                slot.entry.is_some() && slot.result.is_none()
+            });
+            if all_parked {
+                break;
+            }
+            guard = self.park_cv.wait(guard).expect("sim lock");
+        }
+        let mut items = Vec::with_capacity(tied.len());
+        for &(cpu, pid) in &tied {
+            let entry = guard.slots[pid].entry.expect("parked above");
+            match entry {
+                Entry::Mem { .. } => {}
+                Entry::Delay(nanos) if nanos > 0 => {}
+                // A zero-cost entry (finish, delay 0) would leave its
+                // processor tied at `m`, letting the process's next
+                // entry precede round-mates in serial order: degrade to
+                // a single step.
+                _ => return (guard, None),
+            }
+            items.push(RoundItem { pid, cpu, entry });
+        }
+        // Bucket by cell: same-cell entries do not commute and must
+        // commit in cpu order; distinct cells commute and parallelize.
+        // `items` is already in ascending cpu order, and the map
+        // preserves first-seen order, so grouping is deterministic.
+        let mut groups: Vec<Vec<RoundItem>> = Vec::with_capacity(items.len());
+        let mut cell_group: std::collections::HashMap<u32, usize> =
+            std::collections::HashMap::new();
+        for item in &items {
+            match item.entry {
+                Entry::Mem { cell, .. } => match cell_group.entry(cell) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        groups[*e.get()].push(*item);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(groups.len());
+                        groups.push(vec![*item]);
+                    }
+                },
+                _ => groups.push(vec![*item]),
+            }
+        }
+        let fc = &mut *guard;
+        let work = RoundWork {
+            cfg: fc.core.cfg,
+            cells: fc.core.cells.as_mut_ptr(),
+            processes: fc.core.processes.as_mut_ptr(),
+            processors: fc.core.processors.as_mut_ptr(),
+            slots: fc.slots.as_mut_ptr(),
+            groups,
+        };
+        match pool {
+            // Safety (both arms): the engine holds the state mutex
+            // across the whole round — every process thread that could
+            // touch the core is parked — and the commit groups index
+            // disjoint state, so the raw-pointer writes race with
+            // nothing. `run_round` does not return until the barrier.
+            Some(pool) => pool.run_round(work),
+            None => {
+                for group in &work.groups {
+                    unsafe { work.commit_group(group) };
+                }
+            }
+        }
+        (guard, Some(items))
+    }
+
+    /// Blocks (releasing the state mutex) until `pid` has parked its
+    /// next entry.
+    fn wait_parked<'a>(
+        &'a self,
+        mut guard: MutexGuard<'a, FrameCore>,
+        pid: usize,
+    ) -> MutexGuard<'a, FrameCore> {
+        loop {
+            let slot = &guard.slots[pid];
+            if slot.entry.is_some() && slot.result.is_none() {
+                return guard;
+            }
+            guard = self.park_cv.wait(guard).expect("sim lock");
+        }
+    }
+
+    /// Commits `pid`'s parked entry through the full serial logic:
+    /// watchdog, fault triggers, cost model, scheduling side effects.
+    fn commit_one(&self, guard: &mut MutexGuard<'_, FrameCore>, pid: usize) -> Commit {
+        let fc = &mut **guard;
+        let entry = fc.slots[pid].entry.expect("entry parked");
+        match entry {
+            Entry::Finish => {
+                fc.core.remove_process(pid);
+                self.post(fc, pid, EntryResult::Done);
+                Commit::Done
+            }
+            Entry::Mem { .. } | Entry::Delay(_) => {
+                // Once-per-entry resolution — the serial backend's
+                // `resolve_step_faults`, split so a stall/preempt
+                // re-pick does not double-check the watchdog or
+                // double-advance the step counter.
+                if !fc.slots[pid].step_resolved {
+                    let watchdog = fc.core.cfg.watchdog_ns;
+                    if watchdog > 0 {
+                        let cpu = fc.core.processes[pid].cpu;
+                        if fc.core.processors[cpu].clock_ns >= watchdog {
+                            fc.core.blocked.push(pid);
+                            return self.kill_parked(fc, pid);
+                        }
+                    }
+                    fc.slots[pid].step_resolved = true;
+                    if self.plan.watches(pid) {
+                        fc.slots[pid].step_index = fc.core.processes[pid].steps;
+                        fc.core.processes[pid].steps += 1;
+                    }
+                }
+                // One fault per pick: after a stall/preempt the engine
+                // re-picks and re-enters here, which takes the next
+                // matching fault — the serial backend's
+                // yield-inside-the-while-loop, unrolled.
+                if self.plan.watches(pid) {
+                    let step = fc.slots[pid].step_index;
+                    if let Some(action) = take_matching_fault(
+                        &self.plan,
+                        &mut fc.core.fault_fired,
+                        pid,
+                        |t| matches!(t, FaultTrigger::Op(n) if *n == step),
+                    ) {
+                        return self.apply_parked_fault(fc, pid, action);
+                    }
+                }
+                match entry {
+                    Entry::Mem { cell, op } => {
+                        let (result, cost) = fc.core.apply(pid, cell, op);
+                        fc.core.charge(pid, cost);
+                        self.post(fc, pid, EntryResult::Value(result.value));
+                    }
+                    Entry::Delay(nanos) => {
+                        fc.core.charge(pid, nanos);
+                        self.post(fc, pid, EntryResult::Done);
+                    }
+                    _ => unreachable!(),
+                }
+                Commit::Done
+            }
+            Entry::Label(label) => {
+                if !fc.slots[pid].step_resolved {
+                    fc.slots[pid].step_index = fc.core.next_label_hit(pid, label);
+                    fc.slots[pid].step_resolved = true;
+                }
+                let hit = fc.slots[pid].step_index;
+                if let Some(action) =
+                    take_matching_fault(&self.plan, &mut fc.core.fault_fired, pid, |t| {
+                        matches!(t, FaultTrigger::Label { label: l, occurrence }
+                                 if *l == label && *occurrence == hit)
+                    })
+                {
+                    return self.apply_parked_fault(fc, pid, action);
+                }
+                // The fault point itself is free: no charge, and the
+                // process keeps the token (serial `fault_point` returns
+                // without re-picking).
+                self.post(fc, pid, EntryResult::Done);
+                Commit::Sticky
+            }
+        }
+    }
+
+    /// Applies one fired fault to `pid` — the engine-side mirror of the
+    /// serial `apply_fault`. Stall and preempt leave the entry parked
+    /// for a later re-pick; kill retires the process.
+    fn apply_parked_fault(&self, fc: &mut FrameCore, pid: usize, action: FaultAction) -> Commit {
+        match action {
+            FaultAction::Kill => {
+                fc.core.killed.push(pid);
+                self.kill_parked(fc, pid)
+            }
+            FaultAction::Stall { duration_ns } => {
+                fc.core.stalls_injected += 1;
+                let cpu = fc.core.processes[pid].cpu;
+                let until = fc.core.processors[cpu].clock_ns.saturating_add(duration_ns);
+                fc.core.processes[pid].blocked_until_ns = until;
+                Commit::Yielded
+            }
+            FaultAction::Preempt => {
+                fc.core.preempts_injected += 1;
+                let cpu = fc.core.processes[pid].cpu;
+                let ctx = fc.core.cfg.ctx_switch_ns;
+                let base = fc.core.cfg.quantum_ns;
+                let processor = &mut fc.core.processors[cpu];
+                processor.preemptions += 1;
+                if processor.run_queue.len() > 1 {
+                    let front = processor.run_queue.pop_front().expect("non-empty");
+                    debug_assert_eq!(front, pid);
+                    processor.run_queue.push_back(front);
+                }
+                processor.clock_ns += ctx;
+                processor.quantum_left_ns = processor.next_quantum(base);
+                Commit::Yielded
+            }
+        }
+    }
+
+    /// Retires `pid` right now (fault kill or watchdog) and posts the
+    /// kill; the victim's thread unwinds when it reads the result.
+    fn kill_parked(&self, fc: &mut FrameCore, pid: usize) -> Commit {
+        fc.core.remove_process(pid);
+        self.post(fc, pid, EntryResult::Killed);
+        Commit::Done
+    }
+
+    fn post(&self, fc: &mut FrameCore, pid: usize, result: EntryResult) {
+        fc.slots[pid].result = Some(result);
+        self.result_cv[pid].notify_one();
+    }
+}

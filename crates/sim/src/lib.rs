@@ -29,9 +29,25 @@
 //! Algorithms do not know they are being simulated: [`SimPlatform`]
 //! implements [`msq_platform::Platform`], and each simulated process runs
 //! the ordinary Rust implementation of its algorithm on a dedicated worker
-//! thread. Only one worker executes at a time (a token passes to the
-//! process chosen by the virtual-time rule), so the simulation is
-//! sequentialized and deterministic regardless of host parallelism.
+//! thread. Two execution backends produce the identical schedule:
+//!
+//! * **Serial token backend** (the default): only one process thread
+//!   executes at a time — a token passes to the process chosen by the
+//!   virtual-time rule — so the simulation is sequentialized and
+//!   deterministic regardless of host parallelism.
+//! * **Frame-stepped backend** (`MSQ_SIM_WORKERS=n` or
+//!   [`SimConfig::sim_workers`]): process threads park their next
+//!   shared-memory effect at a frame barrier; an engine commits effects
+//!   in the serial backend's exact order, batching provably-independent
+//!   commits (distinct cells, tied minimum clocks) across a worker pool.
+//!   Every [`SimReport`] is byte-identical to the serial backend's — the
+//!   `backend_equivalence` integration test enforces it.
+//!
+//! Seed sweeps ([`schedule_sweep`]) additionally parallelize across
+//! *runs*: independent seeds dispatch onto `MSQ_SWEEP_LANES` host
+//! threads (default: one per available core), with failures always
+//! reported at the minimal failing seed index, exactly as the serial
+//! sweep would.
 //!
 //! # Example
 //!
@@ -58,15 +74,18 @@
 
 mod config;
 mod core;
+mod engine;
 mod fault;
+mod frame;
 mod platform;
 mod report;
 mod runner;
 mod sweep;
 
 pub use config::SimConfig;
+pub use engine::env_workers;
 pub use fault::{FaultAction, FaultPlan, FaultSpec, FaultTrigger};
 pub use platform::{SimCell, SimPlatform};
 pub use report::{ProcessReport, SimReport, TraceEvent, TraceKind};
 pub use runner::{ProcessInfo, Simulation};
-pub use sweep::schedule_sweep;
+pub use sweep::{schedule_sweep, schedule_sweep_with};

@@ -6,7 +6,8 @@ use std::sync::Arc;
 
 use msq_platform::{AtomicWord, Platform};
 
-use crate::core::{MemOp, SimShared};
+use crate::core::MemOp;
+use crate::engine::EngineShared;
 
 thread_local! {
     /// The simulated process id bound to the current worker thread, or
@@ -42,11 +43,11 @@ fn current_pid() -> Option<usize> {
 /// nothing, mirroring the paper's untimed initialization.
 #[derive(Clone)]
 pub struct SimPlatform {
-    shared: Arc<SimShared>,
+    shared: Arc<EngineShared>,
 }
 
 impl SimPlatform {
-    pub(crate) fn new(shared: Arc<SimShared>) -> Self {
+    pub(crate) fn new(shared: Arc<EngineShared>) -> Self {
         SimPlatform { shared }
     }
 }
@@ -132,7 +133,7 @@ impl Platform for SimPlatform {
 /// operations from other threads apply immediately and free of charge.
 pub struct SimCell {
     id: u32,
-    shared: Arc<SimShared>,
+    shared: Arc<EngineShared>,
 }
 
 impl SimCell {

@@ -3,7 +3,8 @@
 use std::sync::Arc;
 
 use crate::config::SimConfig;
-use crate::core::{ProcessKilled, SimShared};
+use crate::core::ProcessKilled;
+use crate::engine::EngineShared;
 use crate::fault::FaultPlan;
 use crate::platform::{bind_current_process, unbind_current_process, SimPlatform};
 use crate::report::SimReport;
@@ -26,7 +27,7 @@ pub struct ProcessInfo {
 /// once with the per-process body. The platform handle (and any cells)
 /// remain usable afterwards for untimed inspection.
 pub struct Simulation {
-    shared: Arc<SimShared>,
+    shared: Arc<EngineShared>,
     cfg: SimConfig,
 }
 
@@ -47,11 +48,7 @@ impl Simulation {
     ///
     /// Panics if `cfg` is invalid (see [`SimConfig::validate`]).
     pub fn new(cfg: SimConfig) -> Self {
-        cfg.validate();
-        Simulation {
-            shared: Arc::new(SimShared::new(cfg)),
-            cfg,
-        }
+        Self::with_faults(cfg, FaultPlan::new())
     }
 
     /// Creates a simulation that injects the faults scheduled in `plan`
@@ -64,8 +61,13 @@ impl Simulation {
     /// `0..cfg.num_processes()`.
     pub fn with_faults(cfg: SimConfig, plan: FaultPlan) -> Self {
         cfg.validate();
+        // The backend (serial token vs frame-stepped, and the worker
+        // count) is resolved here, once, from `cfg.sim_workers` or the
+        // `MSQ_SIM_WORKERS` environment variable — so every consumer of
+        // `Simulation`, harnesses and direct users alike, obeys the same
+        // selection. The choice never affects the report (test-enforced).
         Simulation {
-            shared: Arc::new(SimShared::with_plan(cfg, plan)),
+            shared: Arc::new(EngineShared::build(cfg, plan)),
             cfg,
         }
     }
@@ -143,8 +145,7 @@ impl Simulation {
                     .expect("spawn simulated process"),
             );
         }
-        self.shared.start();
-        self.shared.wait_all_done();
+        self.shared.run_to_completion();
         let mut worker_panic = None;
         for handle in handles {
             if let Err(panic) = handle.join() {

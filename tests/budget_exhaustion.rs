@@ -189,3 +189,81 @@ fn word_seg_queue_backpressures_at_the_budget_under_simulation() {
     assert!(budget.peak() <= LIMIT);
     assert_eq!(queue.dequeue(), None, "the run drained the queue");
 }
+
+/// Every registered contender now meters its preallocated memory against
+/// a shared [`MemBudget`]. The six node-arena algorithms force-reserve
+/// one unit per node (`capacity + 1`, counting the dummy) for the queue's
+/// lifetime and credit it all back on drop; the segment-based extensions
+/// reserve segment by segment. Either way the residency is *observable*:
+/// building any contender moves `reserved()`, and dropping it restores
+/// the budget to empty.
+#[test]
+fn every_contender_meters_residency_against_a_shared_budget() {
+    use ms_queues::Algorithm;
+    let platform = NativePlatform::new();
+    for alg in Algorithm::WITH_EXTENSIONS {
+        let budget = Arc::new(MemBudget::new(&platform, 1_000));
+        let queue = alg.build_with_budget(&platform, 16, Some(Arc::clone(&budget)));
+        assert!(
+            budget.reserved() > 0,
+            "{alg}: building the queue must reserve budget units"
+        );
+        assert_eq!(
+            budget.overruns(),
+            0,
+            "{alg}: a within-budget pool must not overrun"
+        );
+        // The queue still works while metered.
+        queue.enqueue(7).unwrap();
+        assert_eq!(queue.dequeue(), Some(7), "{alg} round trip under budget");
+        let resident = budget.reserved();
+        drop(queue);
+        if matches!(alg, Algorithm::SegBatched | Algorithm::Sharded) {
+            // Segment arenas credit units when segments are *freed*; the
+            // still-resident initial segments ride out the drop.
+            assert!(
+                budget.reserved() <= resident,
+                "{alg}: drop must not grow the reservation"
+            );
+        } else {
+            assert_eq!(
+                budget.reserved(),
+                0,
+                "{alg}: dropping the queue must credit every unit back"
+            );
+        }
+    }
+}
+
+/// The paper's algorithms preallocate their free lists unconditionally,
+/// so a pool larger than the budget is *recorded as an overrun* rather
+/// than denied — the queue is built, the debt is visible.
+#[test]
+fn node_arena_contenders_record_overruns_instead_of_failing() {
+    use ms_queues::Algorithm;
+    let platform = NativePlatform::new();
+    for alg in [
+        Algorithm::SingleLock,
+        Algorithm::MellorCrummey,
+        Algorithm::Valois,
+        Algorithm::NewTwoLock,
+        Algorithm::PljNonBlocking,
+        Algorithm::NewNonBlocking,
+    ] {
+        let budget = Arc::new(MemBudget::new(&platform, 4));
+        let queue = alg.build_with_budget(&platform, 64, Some(Arc::clone(&budget)));
+        assert!(
+            budget.overruns() > 0,
+            "{alg}: an over-budget preallocated pool must be metered as an overrun"
+        );
+        assert_eq!(
+            budget.reserved(),
+            65,
+            "{alg}: the full pool (capacity + dummy) is resident regardless"
+        );
+        queue.enqueue(1).unwrap();
+        assert_eq!(queue.dequeue(), Some(1));
+        drop(queue);
+        assert_eq!(budget.reserved(), 0, "{alg}: drop credits the debt back");
+    }
+}
