@@ -151,6 +151,11 @@ impl<P: Platform> ConcurrentWordQueue for McQueue<P> {
                 .head
                 .cas(head.raw(), head.with_index(next.index()).raw())
             {
+                // Head is swung but the old dummy is not yet recycled: a
+                // death here strands one node and blocks nobody — the
+                // dequeue side is survivable even though the enqueue side
+                // (the torn-tail window above) is blocking.
+                self.platform.fault_point("mc:deq:window");
                 self.arena.free(head.index());
                 return Some(value);
             }

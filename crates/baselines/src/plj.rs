@@ -189,6 +189,10 @@ impl<P: Platform> ConcurrentWordQueue for PljQueue<P> {
                 .head
                 .cas(head.raw(), head.with_index(next.index()).raw())
             {
+                // Head is swung but the old dummy is not yet freed: a
+                // death here strands one node and blocks nobody — the
+                // snapshot protocol never waits on a dequeuer.
+                self.platform.fault_point("plj:deq:window");
                 self.arena.free(head.index());
                 return Some(value);
             }

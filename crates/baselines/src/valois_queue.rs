@@ -192,6 +192,11 @@ impl<P: Platform> ConcurrentWordQueue for ValoisQueue<P> {
                 .head
                 .cas(head.raw(), head.with_index(next.index()).raw())
             {
+                // Head is swung but our two references to the old dummy
+                // are still counted: a death here strands the node on a
+                // nonzero count (Valois's well-known leak) and blocks
+                // nobody.
+                self.platform.fault_point("valois:deq:window");
                 // Head's reference to the old dummy, plus our pin.
                 self.rc.release(head.index());
                 self.rc.release(head.index());

@@ -33,9 +33,9 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use msq_harness::{run_simulated_faulted, Algorithm, WorkloadConfig};
+use msq_harness::{run_simulated_faulted, run_simulated_recovered, Algorithm, WorkloadConfig};
 use msq_platform::Platform;
-use msq_sim::{FaultPlan, SimConfig, Simulation};
+use msq_sim::{FaultPlan, RecoveryPolicy, SimConfig, Simulation};
 
 /// Simulated processors (dedicated: one process each, as in Figure 3's
 /// machine model — the *faults* supply the adverse scheduling here).
@@ -77,19 +77,40 @@ struct StallCell {
 /// algorithm's enqueue critical window; everyone runs the Section 4
 /// workload. Returns survivor (non-victim) completion alongside elapsed.
 fn stall_cell(algorithm: Algorithm, pairs: u64, stall_ns: u64) -> StallCell {
-    stall_cell_at(algorithm, PROCESSORS, pairs, stall_ns)
+    stall_cell_at(
+        algorithm,
+        PROCESSORS,
+        pairs,
+        stall_ns,
+        algorithm.enqueue_fault_label(),
+    )
 }
 
-fn stall_cell_at(algorithm: Algorithm, processors: usize, pairs: u64, stall_ns: u64) -> StallCell {
+/// The dequeue-side twin: pid 0 stalls at the algorithm's *dequeue*
+/// critical window instead. The collapser set differs from the enqueue
+/// sweep — Mellor-Crummey's dequeue window (Head swung, old dummy not
+/// yet recycled) blocks nobody, so on this side it joins the flat group.
+fn dequeue_stall_cell(algorithm: Algorithm, pairs: u64, stall_ns: u64) -> StallCell {
+    stall_cell_at(
+        algorithm,
+        PROCESSORS,
+        pairs,
+        stall_ns,
+        algorithm.dequeue_fault_label(),
+    )
+}
+
+fn stall_cell_at(
+    algorithm: Algorithm,
+    processors: usize,
+    pairs: u64,
+    stall_ns: u64,
+    label: &'static str,
+) -> StallCell {
     let mut plan = FaultPlan::new();
     if stall_ns > 0 {
         for k in 0..NUM_STALLS {
-            plan = plan.stall_at_label(
-                0,
-                algorithm.enqueue_fault_label(),
-                k * STALL_STRIDE,
-                stall_ns,
-            );
+            plan = plan.stall_at_label(0, label, k * STALL_STRIDE, stall_ns);
         }
     }
     let sim = Simulation::with_faults(
@@ -182,7 +203,13 @@ fn main() {
     let mut high_cells: Vec<StallCell> = Vec::new();
     for algorithm in high_contenders {
         for stall_ns in [0, *STALL_LENGTHS.last().unwrap()] {
-            let cell = stall_cell_at(algorithm, PROCESSORS_HIGH, pairs, stall_ns);
+            let cell = stall_cell_at(
+                algorithm,
+                PROCESSORS_HIGH,
+                pairs,
+                stall_ns,
+                algorithm.enqueue_fault_label(),
+            );
             eprintln!(
                 "stall {:>9} ns  {:<16} ({}p) survivors done at {:>12} ns ({} stalls fired)",
                 cell.stall_ns,
@@ -199,6 +226,36 @@ fn main() {
             .iter()
             .find(|c| c.algorithm == alg && c.stall_ns == stall_ns)
             .expect("high-scale cell")
+            .survivor_completion_ns
+    };
+
+    // --- Cell 1c: the dequeue-side stall sweep over the same six. ---
+    let mut deq_cells: Vec<StallCell> = Vec::new();
+    for algorithm in Algorithm::ALL {
+        for stall_ns in STALL_LENGTHS {
+            let cell = dequeue_stall_cell(algorithm, pairs, stall_ns);
+            eprintln!(
+                "deq stall {:>9} ns  {:<16} survivors done at {:>12} ns ({} stalls fired)",
+                cell.stall_ns,
+                cell.algorithm.label(),
+                cell.survivor_completion_ns,
+                cell.stalls_fired
+            );
+            deq_cells.push(cell);
+        }
+    }
+    let deq_baseline = |alg: Algorithm| {
+        deq_cells
+            .iter()
+            .find(|c| c.algorithm == alg && c.stall_ns == 0)
+            .expect("dequeue baseline cell")
+            .survivor_completion_ns
+    };
+    let deq_at_max = |alg: Algorithm| {
+        deq_cells
+            .iter()
+            .find(|c| c.algorithm == alg && c.stall_ns == *STALL_LENGTHS.last().unwrap())
+            .expect("dequeue max-stall cell")
             .survivor_completion_ns
     };
 
@@ -235,6 +292,38 @@ fn main() {
         kill_lock.killed, kill_lock.blocked, kill_lock.pairs_completed
     );
 
+    // --- Cell 3: kill/recovery cells for every contender. Pid 1 is
+    // killed at its first pass through the algorithm's dequeue-side fault
+    // point; pid 0 is the designated survivor of the restart-and-catch-up
+    // policy. On a contender whose dequeue-window death is survivable the
+    // survivor absorbs the victim's residual share (recovery cost ==
+    // residual pairs, a positive time-to-recover is stamped); on the
+    // lock-based queues the dead H_lock holder wedges everyone and the
+    // watchdog flags the run instead. ---
+    struct RecoveryCell {
+        algorithm: Algorithm,
+        point: msq_harness::FaultedPoint,
+    }
+    let mut recovery_cells: Vec<RecoveryCell> = Vec::new();
+    for algorithm in Algorithm::WITH_EXTENSIONS {
+        let point = run_simulated_recovered(
+            algorithm,
+            faulted_cfg,
+            &workload,
+            FaultPlan::new().kill_at_label(1, algorithm.dequeue_fault_label(), 0),
+            RecoveryPolicy::designated(0),
+        );
+        eprintln!(
+            "recovery {:<16} killed {:?}, blocked {:?}, recovered {} pairs, ttr {:?} ns",
+            algorithm.label(),
+            point.killed,
+            point.blocked,
+            point.recovered_pairs,
+            point.time_to_recover_ns
+        );
+        recovery_cells.push(RecoveryCell { algorithm, point });
+    }
+
     // --- Acceptance. ---
     let max_stall = *STALL_LENGTHS.last().unwrap();
     let injected = NUM_STALLS * max_stall;
@@ -269,12 +358,54 @@ fn main() {
     let kill_nonblocking_survives =
         kill_ms.killed == vec![0] && kill_ms.survivors_completed() && kill_ms.drained == Some(1);
     let kill_single_lock_blocks = kill_lock.killed == vec![0] && !kill_lock.survivors_completed();
+    // Dequeue side: survivable-window contenders (the four non-blocking
+    // AND Mellor-Crummey, whose dequeue window blocks nobody) stay flat;
+    // only the queues whose dequeue window is a held lock collapse.
+    let deq_survivable_flat = Algorithm::ALL
+        .into_iter()
+        .filter(|a| a.dequeue_death_survivable())
+        .all(|a| (deq_at_max(a) as f64) <= (deq_baseline(a) as f64) * flat_bound);
+    let deq_collapsers = [Algorithm::SingleLock, Algorithm::NewTwoLock];
+    let deq_blocking_collapses = deq_collapsers
+        .into_iter()
+        .all(|a| deq_at_max(a).saturating_sub(deq_baseline(a)) >= injected / 2);
+    let deq_all_stalls_fired = deq_cells
+        .iter()
+        .all(|c| c.stalls_fired == if c.stall_ns == 0 { 0 } else { NUM_STALLS });
+    // The committed asymmetry: every survivable contender's recovery cost
+    // is exactly the victim's residual share (pairs conserved, a positive
+    // time-to-recover stamped), while the lock-based queues end
+    // watchdog-flagged with nothing recovered.
+    let recovery_absorbs_residual = recovery_cells
+        .iter()
+        .filter(|c| c.algorithm.dequeue_death_survivable())
+        .all(|c| {
+            c.point.killed == vec![1]
+                && c.point.survivors_completed()
+                && c.point.recovered_pairs > 0
+                && c.point.pairs_completed + c.point.recovered_pairs == pairs
+                && c.point.time_to_recover_ns.is_some_and(|t| t > 0)
+        });
+    let recovery_lock_based_flagged = recovery_cells
+        .iter()
+        .filter(|c| !c.algorithm.dequeue_death_survivable())
+        .all(|c| {
+            c.point.killed == vec![1]
+                && !c.point.survivors_completed()
+                && c.point.recovered_pairs == 0
+                && c.point.time_to_recover_ns.is_none()
+        });
     eprintln!(
         "acceptance: nonblocking_flat={nonblocking_flat} blocking_collapses={blocking_collapses} \
          figure_ordering={figure_ordering} figure_ordering_{PROCESSORS_HIGH}p={figure_ordering_high} \
          all_stalls_fired={all_stalls_fired} \
          kill_nonblocking_survives={kill_nonblocking_survives} \
-         kill_single_lock_blocks={kill_single_lock_blocks}"
+         kill_single_lock_blocks={kill_single_lock_blocks} \
+         deq_survivable_flat={deq_survivable_flat} \
+         deq_blocking_collapses={deq_blocking_collapses} \
+         deq_all_stalls_fired={deq_all_stalls_fired} \
+         recovery_absorbs_residual={recovery_absorbs_residual} \
+         recovery_lock_based_flagged={recovery_lock_based_flagged}"
     );
 
     // --- JSON report. ---
@@ -322,6 +453,46 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    json.push_str("  \"deq_stall_sweep\": [\n");
+    for (i, c) in deq_cells.iter().enumerate() {
+        let degradation = c.survivor_completion_ns as f64 / deq_baseline(c.algorithm) as f64;
+        let _ = writeln!(
+            json,
+            "    {{\"algorithm\": \"{}\", \"nonblocking\": {}, \"dequeue_death_survivable\": {}, \"stall_ns\": {}, \"survivor_completion_virtual_ns\": {}, \"elapsed_virtual_ns\": {}, \"stalls_fired\": {}, \"survivor_degradation\": {:.4}}}{}",
+            c.algorithm.label(),
+            c.algorithm.is_nonblocking(),
+            c.algorithm.dequeue_death_survivable(),
+            c.stall_ns,
+            c.survivor_completion_ns,
+            c.elapsed_ns,
+            c.stalls_fired,
+            degradation,
+            if i + 1 == deq_cells.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"recovery\": [\n");
+    for (i, c) in recovery_cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"algorithm\": \"{}\", \"nonblocking\": {}, \"dequeue_death_survivable\": {}, \"victim\": 1, \"designated_survivor\": 0, \"killed\": {:?}, \"blocked\": {:?}, \"pairs_completed\": {}, \"recovered_pairs\": {}, \"time_to_recover_virtual_ns\": {}, \"drained\": {}}}{}",
+            c.algorithm.label(),
+            c.algorithm.is_nonblocking(),
+            c.algorithm.dequeue_death_survivable(),
+            c.point.killed,
+            c.point.blocked,
+            c.point.pairs_completed,
+            c.point.recovered_pairs,
+            c.point
+                .time_to_recover_ns
+                .map_or_else(|| "null".into(), |t| t.to_string()),
+            c.point
+                .drained
+                .map_or_else(|| "null".into(), |d| d.to_string()),
+            if i + 1 == recovery_cells.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(
         json,
         "  \"death\": {{\"new_nonblocking\": {{\"killed\": {:?}, \"blocked\": {:?}, \"drained\": {}, \"pairs_completed\": {}, \"max_completion_virtual_ns\": {}}}, \"single_lock\": {{\"killed\": {:?}, \"blocked\": {:?}, \"pairs_completed\": {}}}}},",
@@ -336,7 +507,7 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"acceptance\": {{\"nonblocking_flat_bound\": {flat_bound}, \"nonblocking_flat\": {nonblocking_flat}, \"blocking_collapses\": {blocking_collapses}, \"figure_ordering\": {figure_ordering}, \"figure_ordering_high\": {figure_ordering_high}, \"all_stalls_fired\": {all_stalls_fired}, \"kill_nonblocking_survives\": {kill_nonblocking_survives}, \"kill_single_lock_blocks\": {kill_single_lock_blocks}}}"
+        "  \"acceptance\": {{\"nonblocking_flat_bound\": {flat_bound}, \"nonblocking_flat\": {nonblocking_flat}, \"blocking_collapses\": {blocking_collapses}, \"figure_ordering\": {figure_ordering}, \"figure_ordering_high\": {figure_ordering_high}, \"all_stalls_fired\": {all_stalls_fired}, \"kill_nonblocking_survives\": {kill_nonblocking_survives}, \"kill_single_lock_blocks\": {kill_single_lock_blocks}, \"deq_survivable_flat\": {deq_survivable_flat}, \"deq_blocking_collapses\": {deq_blocking_collapses}, \"deq_all_stalls_fired\": {deq_all_stalls_fired}, \"recovery_absorbs_residual\": {recovery_absorbs_residual}, \"recovery_lock_based_flagged\": {recovery_lock_based_flagged}}}"
     );
     json.push_str("}\n");
 

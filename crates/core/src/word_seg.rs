@@ -49,6 +49,22 @@ const POISON_PATIENCE: usize = 256;
 /// drained segment is recycled.
 const SEG_HEADROOM: u32 = 4;
 
+/// Frees an unlinked, fully-consumed segment when dropped. The reclaim
+/// ladder holds one of these across its `seg:reclaim` fault point so a
+/// kill there recycles the segment during the unwind — the killed
+/// process's memory operations take the post-mortem direct path, so the
+/// destructor cannot deadlock on the scheduler.
+struct FreeSegOnDrop<'a, P: Platform> {
+    arena: &'a SegArena<P>,
+    seg: u32,
+}
+
+impl<P: Platform> Drop for FreeSegOnDrop<'_, P> {
+    fn drop(&mut self) {
+        self.arena.free(self.seg);
+    }
+}
+
 /// The Michael–Scott non-blocking queue with array-segment nodes, over a
 /// segment arena.
 ///
@@ -334,13 +350,20 @@ impl<P: Platform> ConcurrentWordQueue for WordSegQueue<P> {
                     self.tail.cas(tail_raw, tail.with_index(next.index()).raw());
                 }
                 if self.head.cas(head_raw, head.with_index(next.index()).raw()) {
-                    // Head is off the segment but it is not yet recycled:
-                    // a death here leaks one segment (and its budget
-                    // unit), blocking nobody.
+                    // Head is off the segment but it is not yet recycled.
+                    // Recycling happens on drop so that a process killed
+                    // at the fault point below still frees the segment
+                    // (and credits its budget unit) during the kill
+                    // unwind: death in the reclaim ladder blocks nobody
+                    // and strands nothing.
+                    let reclaim = FreeSegOnDrop {
+                        arena: &self.arena,
+                        seg,
+                    };
                     self.platform.fault_point("seg:reclaim");
                     // D14 analogue: safe to recycle — Tail was helped off,
                     // and every stale process fails its generation check.
-                    self.arena.free(seg);
+                    drop(reclaim);
                 }
                 continue;
             }

@@ -127,6 +127,39 @@ impl Algorithm {
         }
     }
 
+    /// The *dequeue*-side counterpart of
+    /// [`Algorithm::enqueue_fault_label`]: the window a halted dequeuer
+    /// leaves torn. For the lock-based queues this is "holding the
+    /// dequeue (head) lock" — a death there blocks every survivor. For
+    /// the non-blocking queues (and, notably, Mellor-Crummey, whose
+    /// dequeue side is survivable even though its enqueue window is
+    /// blocking) it is the Head-swung-but-dummy-not-yet-recycled window:
+    /// a death there strands at most one node and blocks nobody.
+    ///
+    /// As with the enqueue side, the segment-based extensions only reach
+    /// their window (`seg:reclaim`, the D10–D14 unlink ladder) once per
+    /// fully-consumed segment, so faults aimed there fire rarely.
+    pub fn dequeue_fault_label(self) -> &'static str {
+        match self {
+            Algorithm::SingleLock => "single-lock:deq:locked",
+            Algorithm::MellorCrummey => "mc:deq:window",
+            Algorithm::Valois => "valois:deq:window",
+            Algorithm::NewTwoLock => "two-lock:deq:locked",
+            Algorithm::PljNonBlocking => "plj:deq:window",
+            Algorithm::NewNonBlocking => "msq:deq:window",
+            Algorithm::SegBatched | Algorithm::Sharded => "seg:reclaim",
+        }
+    }
+
+    /// Whether a process killed inside the algorithm's *dequeue* window
+    /// ([`Algorithm::dequeue_fault_label`]) leaves the queue operable for
+    /// survivors. True for every non-blocking queue and for
+    /// Mellor-Crummey (its dequeue tears nothing); false only for the
+    /// queues whose dequeue window is a held lock.
+    pub fn dequeue_death_survivable(self) -> bool {
+        !matches!(self, Algorithm::SingleLock | Algorithm::NewTwoLock)
+    }
+
     /// Constructs the queue over any platform with the given capacity.
     pub fn build<P: Platform>(self, platform: &P, capacity: u32) -> Arc<dyn ConcurrentWordQueue> {
         self.build_with_budget(platform, capacity, None)

@@ -4,10 +4,16 @@ use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use msq_arena::MemBudget;
-use msq_platform::{ConcurrentWordQueue, NativePlatform, Platform};
-use msq_sim::{FaultPlan, SimConfig, Simulation};
+use msq_platform::{AtomicWord, ConcurrentWordQueue, NativePlatform, Platform};
+use msq_sim::{FaultPlan, RecoveryPolicy, RecoveryReport, SimConfig, Simulation};
 
 use crate::registry::Algorithm;
+
+/// Marks a replayed pair's value as recovery work: set on bit 39, below
+/// the pid field (bits 40+) and above any realistic pair index, so a
+/// survivor re-running victim pair `i` enqueues a value distinct from
+/// anything the victim itself may have left in flight.
+const RECOVERY_BIT: u64 = 1 << 39;
 
 /// Workload parameters (Section 4 defaults are the `Default` impl, with
 /// the op count scaled down — the simulator pays a scheduling transaction
@@ -237,6 +243,14 @@ pub struct FaultedPoint {
     /// safe (`None` when a kill on a blocking queue made the post-run
     /// queue state unapproachable).
     pub drained: Option<u64>,
+    /// Pairs of a killed process's residual share replayed by a
+    /// survivor under a [`RecoveryPolicy`] (0 without one).
+    pub recovered_pairs: u64,
+    /// Slowest virtual time from a kill to the survivor absorbing the
+    /// victim's share; `None` when no recovery completed.
+    pub time_to_recover_ns: Option<u64>,
+    /// Every completed recovery handoff, in completion order.
+    pub recoveries: Vec<RecoveryReport>,
 }
 
 impl FaultedPoint {
@@ -336,6 +350,166 @@ pub fn run_simulated_faulted(
         preempts_injected: report.preempts_injected,
         max_completion_ns: report.max_completion_ns(),
         drained,
+        recovered_pairs: 0,
+        time_to_recover_ns: report.time_to_recover_ns(),
+        recoveries: report.recoveries.clone(),
+    }
+}
+
+/// Runs the faulted workload of [`run_simulated_faulted`] with a
+/// restart-and-catch-up [`RecoveryPolicy`] layered on top: every process
+/// writes its completed-pair count to a shared progress cell, and the
+/// designated survivor polls the simulator's death board
+/// ([`msq_sim::SimPlatform::death_board`]) — once per own pair and then
+/// continuously after its own share — absorbing each killed victim's
+/// residual share (replayed with [`RECOVERY_BIT`]-marked values) before
+/// stamping the handoff with `mark_recovered`. The whole recovery
+/// schedule is a pure function of the seed, so the reported
+/// time-to-recover replays byte-identically on both backends.
+///
+/// The expected asymmetry is the paper's dichotomy: on a non-blocking
+/// queue the survivor completes the victim's share (recovery cost ≈ the
+/// residual share) and `time_to_recover_ns` is reported; on a lock-based
+/// queue whose lock died held, the survivor wedges and the watchdog
+/// flags it instead — set [`SimConfig::watchdog_ns`], or the run never
+/// terminates. Killing the designated survivor itself leaves every other
+/// victim unabsorbed; point the plan elsewhere.
+pub fn run_simulated_recovered(
+    algorithm: Algorithm,
+    sim_config: SimConfig,
+    workload: &WorkloadConfig,
+    plan: FaultPlan,
+    policy: RecoveryPolicy,
+) -> FaultedPoint {
+    let has_kills = plan.has_kills();
+    let sim = Simulation::with_faults(sim_config, plan);
+    let platform = sim.platform();
+    let budget = workload
+        .mem_budget
+        .map(|limit| Arc::new(MemBudget::new(&platform, limit)));
+    let queue = algorithm.build_with_budget(&platform, workload.capacity, budget.clone());
+    let n = sim.num_processes();
+    assert!(policy.survivor < n, "designated survivor must be a pid");
+    // Setup is untimed: allocate the progress cells and the death board
+    // before the run so every backend sees identical cell ids.
+    let progress: Arc<Vec<_>> = Arc::new((0..n).map(|_| platform.alloc_cell(0)).collect());
+    let board = Arc::new(platform.death_board());
+    let pairs_total = workload.pairs_total;
+    let other_work_ns = workload.other_work_ns;
+    let pairs_done = Arc::new(
+        (0..n)
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect::<Vec<_>>(),
+    );
+    let recovered_count = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let report = sim.run({
+        let queue = Arc::clone(&queue);
+        let platform = platform.clone();
+        let pairs_done = Arc::clone(&pairs_done);
+        let recovered_count = Arc::clone(&recovered_count);
+        let progress = Arc::clone(&progress);
+        let board = Arc::clone(&board);
+        move |info| {
+            let n = info.num_processes;
+            let my_pairs = share(pairs_total, n, info.pid);
+            let mut absorbed = vec![false; n];
+            let run_pair = |value: u64| {
+                while queue.enqueue(value).is_err() {
+                    platform.cpu_relax();
+                }
+                platform.delay(other_work_ns);
+                while queue.dequeue().is_none() {
+                    platform.cpu_relax();
+                }
+                platform.delay(other_work_ns);
+            };
+            // Absorb any victim whose death notice is newly posted: size
+            // its residual share from its progress cell, replay it, and
+            // stamp the handoff.
+            let absorb_new_deaths = |absorbed: &mut [bool]| {
+                let notices = board.load();
+                for victim in 0..n.min(64) {
+                    if victim == info.pid || absorbed[victim] || notices & (1 << victim) == 0 {
+                        continue;
+                    }
+                    absorbed[victim] = true;
+                    let done = progress[victim].load();
+                    for i in done..share(pairs_total, n, victim) {
+                        run_pair(((victim as u64) << 40) | RECOVERY_BIT | i);
+                        recovered_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    platform.mark_recovered(victim);
+                }
+            };
+            for i in 0..my_pairs {
+                run_pair(((info.pid as u64) << 40) | i);
+                pairs_done[info.pid].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                progress[info.pid].store(i + 1);
+                if policy.is_survivor(info.pid) {
+                    absorb_new_deaths(&mut absorbed);
+                }
+            }
+            if policy.is_survivor(info.pid) {
+                // Stay on watch until every other process has either
+                // finished its share or been absorbed. A watchdog-blocked
+                // process (lock-based queue, dead lock-holder) posts no
+                // notice and never finishes, so the watchdog eventually
+                // retires this survivor too — the asserted blocking
+                // outcome.
+                loop {
+                    absorb_new_deaths(&mut absorbed);
+                    let all_settled = (0..n).all(|v| {
+                        v == info.pid
+                            || absorbed[v]
+                            || progress[v].load() == share(pairs_total, n, v)
+                    });
+                    if all_settled {
+                        break;
+                    }
+                    platform.delay(other_work_ns);
+                }
+            }
+        }
+    });
+    let drain_is_safe = !has_kills || algorithm.is_nonblocking();
+    let drained = if drain_is_safe && report.blocked.is_empty() {
+        let mut count = 0u64;
+        while queue.dequeue().is_some() {
+            count += 1;
+        }
+        Some(count)
+    } else {
+        None
+    };
+    let pairs_completed = pairs_done
+        .iter()
+        .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+        .sum();
+    let per_processor_other_work = (pairs_total / sim_config.processors as u64) * 2 * other_work_ns;
+    FaultedPoint {
+        point: MeasuredPoint {
+            algorithm,
+            processors: sim_config.processors,
+            processes: n,
+            pairs: pairs_total,
+            elapsed_ns: report.elapsed_ns,
+            net_ns: report.elapsed_ns.saturating_sub(per_processor_other_work),
+            miss_rate: report.miss_rate(),
+            cas_failures: report.cas_failures,
+            preemptions: report.preemptions,
+            peak_resident_segments: budget.as_ref().map(|b| b.peak()),
+            budget_denials: budget.as_ref().map(|b| b.denials()),
+        },
+        pairs_completed,
+        killed: report.killed.clone(),
+        blocked: report.blocked.clone(),
+        stalls_injected: report.stalls_injected,
+        preempts_injected: report.preempts_injected,
+        max_completion_ns: report.max_completion_ns(),
+        drained,
+        recovered_pairs: recovered_count.load(std::sync::atomic::Ordering::Relaxed),
+        time_to_recover_ns: report.time_to_recover_ns(),
+        recoveries: report.recoveries.clone(),
     }
 }
 
@@ -751,6 +925,93 @@ mod tests {
                 "{alg}: {label}"
             );
         }
+    }
+
+    #[test]
+    fn every_algorithm_has_a_dequeue_fault_label() {
+        for alg in Algorithm::WITH_EXTENSIONS {
+            let label = alg.dequeue_fault_label();
+            assert!(
+                label.contains(":deq:") || label.ends_with(":window") || label == "seg:reclaim",
+                "{alg}: {label}"
+            );
+            assert_ne!(label, alg.enqueue_fault_label(), "{alg}: sides must differ");
+        }
+    }
+
+    #[test]
+    fn recovered_run_absorbs_the_victims_residual_share() {
+        let point = run_simulated_recovered(
+            Algorithm::NewNonBlocking,
+            SimConfig {
+                processors: 3,
+                watchdog_ns: 400_000_000,
+                ..SimConfig::default()
+            },
+            &tiny(),
+            FaultPlan::new().kill_at_label(1, "msq:deq:window", 0),
+            RecoveryPolicy::designated(0),
+        );
+        assert_eq!(point.killed, vec![1]);
+        assert!(point.survivors_completed(), "blocked: {:?}", point.blocked);
+        // The victim died inside its first dequeue: its whole share is
+        // residual, and the survivor replays every pair of it.
+        assert_eq!(point.recovered_pairs, share(300, 3, 1));
+        assert_eq!(point.pairs_completed + point.recovered_pairs, 300);
+        assert_eq!(point.recoveries.len(), 1);
+        assert_eq!(point.recoveries[0].victim, 1);
+        assert_eq!(point.recoveries[0].by, 0);
+        let ttr = point.time_to_recover_ns.expect("one recovery completed");
+        assert!(ttr > 0, "catch-up work costs virtual time");
+        // The victim's in-flight dequeue already swung Head, so the
+        // replayed pairs leave the queue balanced.
+        assert_eq!(point.drained, Some(0));
+    }
+
+    #[test]
+    fn recovered_run_on_a_lock_queue_is_watchdog_flagged_not_recovered() {
+        let point = run_simulated_recovered(
+            Algorithm::SingleLock,
+            SimConfig {
+                processors: 3,
+                watchdog_ns: 50_000_000,
+                ..SimConfig::default()
+            },
+            &tiny(),
+            FaultPlan::new().kill_at_label(1, "single-lock:deq:locked", 0),
+            RecoveryPolicy::designated(0),
+        );
+        assert_eq!(point.killed, vec![1]);
+        assert!(
+            !point.survivors_completed(),
+            "a dead lock-holder must wedge the survivors"
+        );
+        assert_eq!(point.recovered_pairs, 0);
+        assert_eq!(point.time_to_recover_ns, None);
+        assert!(point.recoveries.is_empty());
+        assert_eq!(point.drained, None);
+    }
+
+    #[test]
+    fn recovered_runs_are_deterministic() {
+        let run = || {
+            run_simulated_recovered(
+                Algorithm::NewNonBlocking,
+                SimConfig {
+                    processors: 3,
+                    watchdog_ns: 400_000_000,
+                    ..SimConfig::default()
+                },
+                &tiny(),
+                FaultPlan::new().kill_at_label(2, "msq:deq:window", 0),
+                RecoveryPolicy::designated(1),
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.point.elapsed_ns, b.point.elapsed_ns);
+        assert_eq!(a.recoveries, b.recoveries);
+        assert_eq!(a.time_to_recover_ns, b.time_to_recover_ns);
+        assert_eq!(a.recovered_pairs, b.recovered_pairs);
     }
 
     #[test]

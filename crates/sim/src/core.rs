@@ -153,6 +153,13 @@ pub(crate) struct Core {
     pub(crate) blocked: Vec<usize>,
     pub(crate) stalls_injected: u64,
     pub(crate) preempts_injected: u64,
+    /// The death-notice cell, lazily allocated by the first
+    /// [`Core::death_board`] call: bit `pid` is set (directly, with no
+    /// cost or cache effects) when the fault layer kills `pid`, so
+    /// survivors can poll for deaths with an ordinary charged load.
+    pub(crate) kill_board: Option<u32>,
+    /// Completed recovery handoffs, in completion order.
+    pub(crate) recoveries: Vec<crate::report::RecoveryReport>,
 }
 
 /// Applies `op` to one cell on behalf of one process on processor `cpu`,
@@ -308,7 +315,49 @@ impl Core {
             blocked: Vec::new(),
             stalls_injected: 0,
             preempts_injected: 0,
+            kill_board: None,
+            recoveries: Vec::new(),
         }
+    }
+
+    /// Returns the death-notice cell, allocating it on first use (lazily,
+    /// so runs that never ask for it keep their cell ids — and therefore
+    /// their traces — unchanged).
+    pub(crate) fn death_board(&mut self) -> u32 {
+        match self.kill_board {
+            Some(cell) => cell,
+            None => {
+                let cell = self.alloc_cell(0);
+                self.kill_board = Some(cell);
+                cell
+            }
+        }
+    }
+
+    /// Posts `pid`'s death notice on the board (if one was requested).
+    /// The bit is set directly — no cost, no cache effects — which is
+    /// deterministic because both backends call this at the same commit
+    /// point; the cache model only prices reads, it never hides values,
+    /// so a survivor's next charged load of the board sees the bit.
+    pub(crate) fn note_death(&mut self, pid: usize) {
+        if let Some(cell) = self.kill_board {
+            if pid < 64 {
+                self.cells[cell as usize].value |= 1 << pid;
+            }
+        }
+    }
+
+    /// Records that `by` absorbed the remaining share of killed process
+    /// `victim`, stamping the recovery with the victim's death time and
+    /// `by`'s current virtual time.
+    pub(crate) fn note_recovery(&mut self, victim: usize, by: usize) {
+        let cpu = self.processes[by].cpu;
+        self.recoveries.push(crate::report::RecoveryReport {
+            victim,
+            by,
+            killed_at_ns: self.processes[victim].finished_at_ns,
+            recovered_at_ns: self.processors[cpu].clock_ns,
+        });
     }
 
     pub(crate) fn alloc_cell(&mut self, init: u64) -> u32 {
@@ -520,6 +569,7 @@ impl Core {
             blocked: self.blocked.clone(),
             stalls_injected: self.stalls_injected,
             preempts_injected: self.preempts_injected,
+            recoveries: self.recoveries.clone(),
         }
     }
 }
@@ -559,6 +609,23 @@ impl SimShared {
 
     pub fn alloc_cell(&self, init: u64) -> u32 {
         self.core.lock().expect("sim lock").alloc_cell(init)
+    }
+
+    /// Returns the death-notice cell (allocating it on first use).
+    pub fn death_board(&self) -> u32 {
+        self.core.lock().expect("sim lock").death_board()
+    }
+
+    /// Records, on behalf of `pid`, that the remaining share of killed
+    /// process `victim` has been fully absorbed. Like a fault point, the
+    /// record itself is free: `pid` keeps the token and is charged
+    /// nothing — the *work* of catching up was already charged op by op.
+    pub fn mark_recovered(&self, pid: usize, victim: usize) {
+        let mut core = self.wait_for_token(pid);
+        if core.processes[pid].finished {
+            return;
+        }
+        core.note_recovery(victim, pid);
     }
 
     /// Direct, cost-free access for the coordinator thread (setup before
@@ -707,6 +774,7 @@ impl SimShared {
         match action {
             FaultAction::Kill => {
                 core.killed.push(pid);
+                core.note_death(pid);
                 self.kill_locked(core, pid)
             }
             FaultAction::Stall { duration_ns } => {

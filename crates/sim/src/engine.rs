@@ -81,6 +81,23 @@ impl EngineShared {
         }
     }
 
+    /// Returns the death-notice cell (allocating it on first use).
+    pub fn death_board(&self) -> u32 {
+        match self {
+            EngineShared::Token(s) => s.death_board(),
+            EngineShared::Frames(s) => s.death_board(),
+        }
+    }
+
+    /// Records that `pid` absorbed killed process `victim`'s remaining
+    /// share.
+    pub fn mark_recovered(&self, pid: usize, victim: usize) {
+        match self {
+            EngineShared::Token(s) => s.mark_recovered(pid, victim),
+            EngineShared::Frames(s) => s.mark_recovered(pid, victim),
+        }
+    }
+
     pub fn finish(&self, pid: usize) {
         match self {
             EngineShared::Token(s) => s.finish(pid),

@@ -50,6 +50,9 @@ enum Entry {
     /// A labelled fault point (parked only when the plan watches labels
     /// for this process).
     Label(&'static str),
+    /// A recovery record: the parking process absorbed the remaining
+    /// share of the named killed victim. Zero-cost, like a label.
+    Recovered(usize),
     /// Process retirement.
     Finish,
 }
@@ -164,7 +167,7 @@ impl RoundWork {
                     charge_parts(&self.cfg, processor, item.pid, nanos);
                     slot.result = Some(EntryResult::Done);
                 }
-                Entry::Label(_) | Entry::Finish => {
+                Entry::Label(_) | Entry::Recovered(_) | Entry::Finish => {
                     unreachable!("zero-cost entries never enter a frame round")
                 }
             }
@@ -355,6 +358,11 @@ impl FrameShared {
         self.state.lock().expect("sim lock").core.alloc_cell(init)
     }
 
+    /// Returns the death-notice cell (allocating it on first use).
+    pub fn death_board(&self) -> u32 {
+        self.state.lock().expect("sim lock").core.death_board()
+    }
+
     pub fn peek(&self, cell: u32) -> u64 {
         self.state.lock().expect("sim lock").core.peek(cell)
     }
@@ -406,6 +414,21 @@ impl FrameShared {
             EntryResult::Done => {}
             EntryResult::Killed => std::panic::resume_unwind(Box::new(ProcessKilled)),
             EntryResult::Value(_) => unreachable!("fault points produce no value"),
+        }
+    }
+
+    /// Records, on behalf of `pid`, that killed process `victim`'s
+    /// remaining share has been fully absorbed. Zero-cost, like a fault
+    /// point: the engine stamps the recovery and `pid` keeps the token.
+    pub fn mark_recovered(&self, pid: usize, victim: usize) {
+        let guard = self.state.lock().expect("sim lock");
+        if guard.core.processes[pid].finished {
+            return;
+        }
+        match self.park_locked(guard, pid, Entry::Recovered(victim)) {
+            EntryResult::Done => {}
+            EntryResult::Killed => std::panic::resume_unwind(Box::new(ProcessKilled)),
+            EntryResult::Value(_) => unreachable!("recovery records produce no value"),
         }
     }
 
@@ -708,6 +731,14 @@ impl FrameShared {
                 self.post(fc, pid, EntryResult::Done);
                 Commit::Sticky
             }
+            Entry::Recovered(victim) => {
+                // Free and token-keeping, exactly like the serial
+                // `mark_recovered`: the catch-up work was already
+                // charged op by op.
+                fc.core.note_recovery(victim, pid);
+                self.post(fc, pid, EntryResult::Done);
+                Commit::Sticky
+            }
         }
     }
 
@@ -718,6 +749,7 @@ impl FrameShared {
         match action {
             FaultAction::Kill => {
                 fc.core.killed.push(pid);
+                fc.core.note_death(pid);
                 self.kill_parked(fc, pid)
             }
             FaultAction::Stall { duration_ns } => {

@@ -78,6 +78,7 @@ mod engine;
 mod fault;
 mod frame;
 mod platform;
+mod recovery;
 mod report;
 mod runner;
 mod sweep;
@@ -86,6 +87,7 @@ pub use config::SimConfig;
 pub use engine::env_workers;
 pub use fault::{FaultAction, FaultPlan, FaultSpec, FaultTrigger};
 pub use platform::{SimCell, SimPlatform};
-pub use report::{ProcessReport, SimReport, TraceEvent, TraceKind};
+pub use recovery::RecoveryPolicy;
+pub use report::{ProcessReport, RecoveryReport, SimReport, TraceEvent, TraceKind};
 pub use runner::{ProcessInfo, Simulation};
 pub use sweep::{schedule_sweep, schedule_sweep_with};

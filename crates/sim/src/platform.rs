@@ -50,6 +50,35 @@ impl SimPlatform {
     pub(crate) fn new(shared: Arc<EngineShared>) -> Self {
         SimPlatform { shared }
     }
+
+    /// The simulation's **death board**: a cell whose bit `pid` is set
+    /// the instant the fault layer kills `pid` (watchdog retirements are
+    /// *not* posted — a watchdog-flagged process is wedged, not dead,
+    /// and nothing deterministic distinguishes the two from inside).
+    ///
+    /// The cell is allocated lazily on first call (so runs that never
+    /// ask keep their cell ids, and therefore traces, unchanged) and is
+    /// shared by all callers. Survivors implementing a recovery policy
+    /// poll it with ordinary charged loads; the coherence model prices
+    /// the polls but never hides the bits.
+    pub fn death_board(&self) -> SimCell {
+        SimCell {
+            id: self.shared.death_board(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Records that the calling simulated process has fully absorbed the
+    /// remaining work share of killed process `victim`, stamping a
+    /// [`crate::RecoveryReport`] with the victim's death time and the
+    /// caller's current virtual time. Free, like a fault point: the
+    /// catch-up work itself was already charged op by op. No-op outside
+    /// a simulated process.
+    pub fn mark_recovered(&self, victim: usize) {
+        if let Some(pid) = current_pid() {
+            self.shared.mark_recovered(pid, victim);
+        }
+    }
 }
 
 impl std::fmt::Debug for SimPlatform {

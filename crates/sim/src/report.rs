@@ -56,6 +56,30 @@ pub struct ProcessReport {
     pub finished_at_ns: u64,
 }
 
+/// One completed recovery handoff: a survivor absorbed the remaining
+/// work share of a process the fault plan killed (see
+/// [`crate::SimPlatform::mark_recovered`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The killed process whose share was absorbed.
+    pub victim: usize,
+    /// The survivor that absorbed it.
+    pub by: usize,
+    /// The victim's processor clock at the kill.
+    pub killed_at_ns: u64,
+    /// The survivor's processor clock when it declared the share
+    /// absorbed.
+    pub recovered_at_ns: u64,
+}
+
+impl RecoveryReport {
+    /// Virtual time from the kill to the survivor absorbing the victim's
+    /// share — the run's **time-to-recover** for this victim.
+    pub fn time_to_recover_ns(&self) -> u64 {
+        self.recovered_at_ns.saturating_sub(self.killed_at_ns)
+    }
+}
+
 /// Aggregate results of one [`crate::Simulation::run`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SimReport {
@@ -89,6 +113,10 @@ pub struct SimReport {
     /// Preemption faults injected by the plan (also counted in
     /// [`SimReport::preemptions`]).
     pub preempts_injected: u64,
+    /// Completed recovery handoffs, in completion order (empty unless
+    /// the run's processes called
+    /// [`crate::SimPlatform::mark_recovered`]).
+    pub recoveries: Vec<RecoveryReport>,
 }
 
 impl SimReport {
@@ -125,6 +153,15 @@ impl SimReport {
     pub fn survivors_completed(&self) -> bool {
         self.blocked.is_empty()
     }
+
+    /// The slowest recovery's [`RecoveryReport::time_to_recover_ns`], or
+    /// `None` when no recovery was recorded.
+    pub fn time_to_recover_ns(&self) -> Option<u64> {
+        self.recoveries
+            .iter()
+            .map(RecoveryReport::time_to_recover_ns)
+            .max()
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +183,7 @@ mod tests {
             blocked: Vec::new(),
             stalls_injected: 0,
             preempts_injected: 0,
+            recoveries: Vec::new(),
         }
     }
 
@@ -159,5 +197,25 @@ mod tests {
     #[test]
     fn elapsed_secs_converts() {
         assert!((report(1, 0).elapsed_secs() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_to_recover_takes_the_slowest_handoff() {
+        let mut r = report(1, 0);
+        assert_eq!(r.time_to_recover_ns(), None);
+        r.recoveries.push(RecoveryReport {
+            victim: 0,
+            by: 1,
+            killed_at_ns: 100,
+            recovered_at_ns: 400,
+        });
+        r.recoveries.push(RecoveryReport {
+            victim: 2,
+            by: 1,
+            killed_at_ns: 50,
+            recovered_at_ns: 950,
+        });
+        assert_eq!(r.time_to_recover_ns(), Some(900));
+        assert_eq!(r.recoveries[0].time_to_recover_ns(), 300);
     }
 }

@@ -83,7 +83,7 @@ pub use msq_core::{
 };
 pub use msq_harness::{
     run_figure, run_native, run_native_batched, run_simulated, run_simulated_batched,
-    run_simulated_faulted, Algorithm, FaultedPoint, WorkloadConfig,
+    run_simulated_faulted, run_simulated_recovered, Algorithm, FaultedPoint, WorkloadConfig,
 };
 pub use msq_linearize::{is_linearizable_queue, History, Recorder};
 pub use msq_platform::{
@@ -91,7 +91,7 @@ pub use msq_platform::{
     NativePlatform, Platform, QueueFull, Tagged,
 };
 pub use msq_sim::{
-    schedule_sweep, FaultAction, FaultPlan, FaultSpec, FaultTrigger, SimConfig, SimPlatform,
-    SimReport, Simulation,
+    schedule_sweep, FaultAction, FaultPlan, FaultSpec, FaultTrigger, RecoveryPolicy,
+    RecoveryReport, SimConfig, SimPlatform, SimReport, Simulation,
 };
 pub use msq_sync::{ClhLock, McsLock, RawLock, TasLock, TicketLock, TokenLock, TtasLock};

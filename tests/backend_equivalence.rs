@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use ms_queues::platform::Platform;
-use ms_queues::{Algorithm, FaultPlan, SimConfig, SimReport, Simulation};
+use ms_queues::{Algorithm, AtomicWord, FaultPlan, SimConfig, SimReport, Simulation};
 
 /// Worker counts under test: serial token backend (0) against the
 /// frame-stepped backend at one, a few, and many workers.
@@ -137,6 +137,113 @@ fn backends_agree_under_a_kill_fault_on_the_lock_queue_with_watchdog() {
         };
         let plan = FaultPlan::new().kill_at_label(0, algorithm.enqueue_fault_label(), 1);
         assert_backends_agree(algorithm, cfg, &plan, 20);
+    }
+}
+
+/// Drives the MS queue through the pairs workload with a
+/// restart-and-catch-up recovery loop layered on: every process posts its
+/// progress to a shared cell, and pid 0 polls the simulator's death board,
+/// replays each victim's residual share, and stamps the handoff with
+/// `mark_recovered`. The death board, the progress cells, and the recovery
+/// record are all ordinary scheduler traffic, so the whole recovery
+/// schedule — including `recoveries` and the derived time-to-recover —
+/// must replay byte-identically on every backend.
+fn run_recovery_report(cfg: SimConfig, plan: FaultPlan, workers: usize) -> SimReport {
+    const PAIRS: u64 = 20;
+    let cfg = SimConfig {
+        sim_workers: Some(workers),
+        ..cfg
+    };
+    let sim = Simulation::with_faults(cfg, plan);
+    let platform = sim.platform();
+    let queue = Algorithm::NewNonBlocking.build(&platform, 1_024);
+    let n = sim.num_processes();
+    // Untimed setup so every backend sees identical cell ids.
+    let progress: Arc<Vec<_>> = Arc::new((0..n).map(|_| platform.alloc_cell(0)).collect());
+    let board = Arc::new(platform.death_board());
+    sim.run({
+        let queue = Arc::clone(&queue);
+        let progress = Arc::clone(&progress);
+        let board = Arc::clone(&board);
+        move |info| {
+            let n = info.num_processes;
+            let run_pair = |value: u64| {
+                while queue.enqueue(value).is_err() {
+                    platform.delay(50);
+                }
+                platform.delay(200);
+                while queue.dequeue().is_none() {
+                    platform.delay(50);
+                }
+                platform.delay(200);
+            };
+            let absorb_new_deaths = |absorbed: &mut [bool]| {
+                let notices = board.load();
+                for victim in 0..n.min(64) {
+                    if victim == info.pid || absorbed[victim] || notices & (1 << victim) == 0 {
+                        continue;
+                    }
+                    absorbed[victim] = true;
+                    let done = progress[victim].load();
+                    for i in done..PAIRS {
+                        // Bit 24 marks replayed values as recovery work,
+                        // distinct from anything the victim left in flight.
+                        run_pair(((victim as u64) << 32) | (1 << 24) | i);
+                    }
+                    platform.mark_recovered(victim);
+                }
+            };
+            let mut absorbed = vec![false; n];
+            for i in 0..PAIRS {
+                run_pair(((info.pid as u64) << 32) | i);
+                progress[info.pid].store(i + 1);
+                if info.pid == 0 {
+                    absorb_new_deaths(&mut absorbed);
+                }
+            }
+            if info.pid == 0 {
+                loop {
+                    absorb_new_deaths(&mut absorbed);
+                    let all_settled =
+                        (0..n).all(|v| v == 0 || absorbed[v] || progress[v].load() == PAIRS);
+                    if all_settled {
+                        break;
+                    }
+                    platform.delay(200);
+                }
+            }
+        }
+    })
+}
+
+#[test]
+fn backends_agree_under_a_recovery_enabled_kill() {
+    for seed in [0, 11, 42] {
+        let cfg = SimConfig {
+            watchdog_ns: 400_000_000,
+            ..sweep_config(seed)
+        };
+        let plan =
+            FaultPlan::new().kill_at_label(1, Algorithm::NewNonBlocking.dequeue_fault_label(), 0);
+        let serial = run_recovery_report(cfg, plan.clone(), 0);
+        assert_eq!(serial.killed, vec![1], "seed {seed}");
+        assert_eq!(
+            serial.recoveries.len(),
+            1,
+            "seed {seed}: pid 0 absorbed the victim"
+        );
+        assert!(
+            serial.time_to_recover_ns().expect("one handoff completed") > 0,
+            "seed {seed}"
+        );
+        for workers in WORKER_COUNTS.into_iter().skip(1) {
+            let parallel = run_recovery_report(cfg, plan.clone(), workers);
+            assert_eq!(
+                serial, parallel,
+                "recovery run: frame-stepped backend with {workers} workers \
+                 diverged from serial token backend (seed {seed})"
+            );
+        }
     }
 }
 

@@ -190,6 +190,66 @@ fn word_seg_queue_backpressures_at_the_budget_under_simulation() {
     assert_eq!(queue.dequeue(), None, "the run drained the queue");
 }
 
+/// **Budget conservation across a mid-allocation death.** The arena's
+/// `seg:alloc:reserved` fault point sits exactly between reserving a
+/// budget unit and committing it to a popped segment. A process killed
+/// there unwinds through the RAII [`ms_queues::Reservation`] guard, which
+/// must credit the unit back — otherwise the budget leaks one unit per
+/// death and the global bound rots. After the survivors finish and the
+/// queue drains, exactly the dummy segment may remain resident.
+#[test]
+fn kill_between_reserve_and_commit_credits_the_unit_back() {
+    use ms_queues::FaultPlan;
+
+    let sim = Simulation::with_faults(
+        SimConfig {
+            processors: 3,
+            ..SimConfig::default()
+        },
+        FaultPlan::new().kill_at_label(0, "seg:alloc:reserved", 0),
+    );
+    let platform = sim.platform();
+    let budget = Arc::new(MemBudget::new(&platform, LIMIT));
+    let queue = Arc::new(WordSegQueue::with_capacity_and_budget(
+        &platform,
+        4_096,
+        Arc::clone(&budget),
+    ));
+    let report = sim.run({
+        let queue = Arc::clone(&queue);
+        move |info| {
+            // A full pairs workload: 200 pairs per process crosses the
+            // 32-slot segment boundary often enough that every process
+            // allocates segments (and pid 0 dies at its first attempt).
+            for i in 0..200_u64 {
+                let value = ((info.pid as u64) << 40) | i;
+                while queue.enqueue(value).is_err() {
+                    // Budget-full is backpressure: make room, not spin.
+                    queue.dequeue();
+                }
+                while queue.dequeue().is_none() {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    });
+    assert_eq!(report.killed, vec![0], "the reserve-commit kill fired");
+    assert!(
+        report.blocked.is_empty(),
+        "a death mid-allocation must not block survivors: {:?}",
+        report.blocked
+    );
+    while queue.dequeue().is_some() {}
+    assert_eq!(
+        budget.reserved(),
+        1,
+        "after the drain only the dummy segment is resident — the killed \
+         process's uncommitted reservation was credited back by unwinding"
+    );
+    assert!(budget.peak() <= LIMIT, "the bound held across the death");
+    assert_eq!(budget.overruns(), 0, "no path overran the budget");
+}
+
 /// Every registered contender now meters its preallocated memory against
 /// a shared [`MemBudget`]. The six node-arena algorithms force-reserve
 /// one unit per node (`capacity + 1`, counting the dummy) for the queue's

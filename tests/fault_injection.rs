@@ -18,8 +18,9 @@ use std::sync::{Arc, Mutex};
 
 use ms_queues::linearize::{Event, Operation};
 use ms_queues::{
-    is_linearizable_queue, run_simulated_faulted, schedule_sweep, Algorithm, FaultPlan, History,
-    MemBudget, NativePlatform, Recorder, SimConfig, Simulation, WorkloadConfig,
+    is_linearizable_queue, run_simulated_faulted, run_simulated_recovered, schedule_sweep,
+    Algorithm, FaultPlan, History, MemBudget, NativePlatform, Recorder, RecoveryPolicy, SimConfig,
+    Simulation, WorkloadConfig,
 };
 
 fn tiny() -> WorkloadConfig {
@@ -276,6 +277,333 @@ fn kill_mid_allocation_conserves_budget_reservations_simulated() {
         floor,
         "the killed process's uncommitted reservation leaked"
     );
+}
+
+/// Stalls in the *dequeue* critical window — the other half of the §11
+/// taxonomy — likewise delay but never corrupt: every algorithm
+/// completes the full workload and leaves an empty queue.
+#[test]
+fn stalls_in_the_dequeue_window_delay_but_never_corrupt() {
+    for algorithm in Algorithm::ALL {
+        let plan = FaultPlan::new()
+            .stall_at_label(0, algorithm.dequeue_fault_label(), 0, 200_000)
+            .stall_at_label(0, algorithm.dequeue_fault_label(), 4, 200_000);
+        let point = run_simulated_faulted(
+            algorithm,
+            SimConfig {
+                processors: 3,
+                ..SimConfig::default()
+            },
+            &tiny(),
+            plan,
+        );
+        assert_eq!(point.stalls_injected, 2, "{algorithm}: stalls fired");
+        assert!(point.killed.is_empty(), "{algorithm}");
+        assert!(point.survivors_completed(), "{algorithm}");
+        assert_eq!(point.pairs_completed, 240, "{algorithm}");
+        assert_eq!(point.drained, Some(0), "{algorithm}: queue empty after");
+    }
+}
+
+/// A preemption storm parked on the MS dequeue window (Head swung, dummy
+/// not yet freed) is absorbed without loss, exactly like its enqueue
+/// twin.
+#[test]
+fn preempt_storm_on_the_ms_dequeue_window_is_absorbed() {
+    let point = run_simulated_faulted(
+        Algorithm::NewNonBlocking,
+        SimConfig {
+            processors: 2,
+            processes_per_processor: 2,
+            ..SimConfig::default()
+        },
+        &tiny(),
+        FaultPlan::new().preempt_storm(0, "msq:deq:window", 16),
+    );
+    assert_eq!(point.preempts_injected, 16);
+    assert!(point.killed.is_empty());
+    assert!(point.survivors_completed());
+    assert_eq!(point.pairs_completed, 240);
+    assert_eq!(point.drained, Some(0));
+}
+
+/// Death in the dequeue window, across the paper's whole legend: only
+/// the queues whose dequeue window is a held lock block their survivors.
+/// Mellor-Crummey lands on the *survivable* side here — its dequeue
+/// tears nothing — even though its enqueue window is blocking, the
+/// asymmetry [`Algorithm::dequeue_death_survivable`] encodes.
+#[test]
+fn kill_in_the_dequeue_window_blocks_only_the_lock_based_queues() {
+    for algorithm in Algorithm::ALL {
+        let point = run_simulated_faulted(
+            algorithm,
+            SimConfig {
+                processors: 3,
+                watchdog_ns: 50_000_000,
+                ..SimConfig::default()
+            },
+            &tiny(),
+            FaultPlan::new().kill_at_label(0, algorithm.dequeue_fault_label(), 0),
+        );
+        assert_eq!(point.killed, vec![0], "{algorithm}");
+        assert_eq!(
+            point.survivors_completed(),
+            algorithm.dequeue_death_survivable(),
+            "{algorithm}: blocked {:?}",
+            point.blocked
+        );
+        if algorithm.dequeue_death_survivable() {
+            // Both survivors ran their full shares (the victim died
+            // inside its first dequeue, so only its share is lost).
+            assert_eq!(point.pairs_completed, 160, "{algorithm}");
+            if algorithm.is_nonblocking() {
+                // The victim's in-flight dequeue already swung Head, so
+                // the queue ends balanced.
+                assert_eq!(point.drained, Some(0), "{algorithm}");
+            }
+        } else {
+            assert_eq!(point.drained, None, "{algorithm}");
+        }
+    }
+}
+
+/// Runs 3 simulated processes over the MS queue with pid 0 killed at its
+/// first pass through the *dequeue* critical window (Head swung, dummy
+/// not yet freed), records the surviving history, drains the queue, and
+/// returns the history with the victim's in-flight dequeue admitted as a
+/// pending operation. The kill fires *after* the Head CAS, so exactly
+/// one recorded enqueue has no recorded dequeue: the value the victim
+/// removed but never acknowledged.
+fn kill_mid_dequeue_and_record(cfg: SimConfig) -> History {
+    let seed = cfg.seed;
+    let sim = Simulation::with_faults(cfg, FaultPlan::new().kill_at_label(0, "msq:deq:window", 0));
+    let queue = Algorithm::NewNonBlocking.build(&sim.platform(), 64);
+    let recorder = Recorder::new();
+    let handles: Vec<_> = (0..3).map(|p| Some(recorder.handle(p))).collect();
+    let handles = Arc::new(Mutex::new(handles));
+    let report = sim.run({
+        let queue = Arc::clone(&queue);
+        let handles = Arc::clone(&handles);
+        move |info| {
+            let mut handle = handles.lock().unwrap()[info.pid].take().unwrap();
+            for i in 0..2_u64 {
+                let value = ((info.pid as u64) << 8) | i;
+                handle.enqueue(&*queue, value).unwrap();
+                handle.dequeue(&*queue);
+            }
+        }
+    });
+    assert_eq!(report.killed, vec![0], "seed {seed:#x}");
+    assert!(
+        report.blocked.is_empty(),
+        "seed {seed:#x}: watchdog flagged survivors of a non-blocking queue: {:?}",
+        report.blocked
+    );
+    let mut drainer = recorder.handle(3);
+    while drainer.dequeue(&*queue).is_some() {}
+    drop(drainer);
+
+    let mut events = recorder.finish().events().to_vec();
+    let enqueued: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.operation {
+            Operation::Enqueue(v) => Some(v),
+            _ => None,
+        })
+        .collect();
+    let dequeued: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.operation {
+            Operation::Dequeue(Some(v)) => Some(v),
+            _ => None,
+        })
+        .collect();
+    // Values are unique per (pid, iteration), so a set difference finds
+    // the one the victim linearized out but never returned.
+    let missing: Vec<u64> = enqueued
+        .into_iter()
+        .filter(|v| !dequeued.contains(v))
+        .collect();
+    assert_eq!(
+        missing.len(),
+        1,
+        "seed {seed:#x}: exactly the victim's in-flight dequeue should be unrecorded: {missing:?}"
+    );
+    events.push(Event {
+        process: 0,
+        operation: Operation::Dequeue(Some(missing[0])),
+        invoked_at: 0,
+        returned_at: u64::MAX,
+    });
+    History::from_events(events)
+}
+
+/// **Acceptance, dequeue side**: kill a process mid-dequeue on the MS
+/// queue across 16 perturbed schedules. Survivors always finish, the
+/// queue always drains, and every recorded history — the victim's
+/// pending dequeue included — passes the fast checks and the exhaustive
+/// Wing–Gong linearizability search.
+#[test]
+fn kill_mid_dequeue_on_ms_queue_survivors_linearize_across_16_seeds() {
+    let base = SimConfig {
+        processors: 3,
+        quantum_ns: 60_000,
+        watchdog_ns: 50_000_000,
+        ..SimConfig::default()
+    };
+    schedule_sweep(base, 16, |cfg| {
+        let seed = cfg.seed;
+        let history = kill_mid_dequeue_and_record(cfg);
+        assert!(
+            history.check_queue_safety().is_empty(),
+            "seed {seed:#x}: fast checks failed: {:?}",
+            history.events()
+        );
+        assert!(
+            is_linearizable_queue(history.events()),
+            "seed {seed:#x}: faulted history not linearizable: {:?}",
+            history.events()
+        );
+    });
+}
+
+/// The same death inside the single-lock queue's *dequeue* critical
+/// section (`H_lock` held): across 16 perturbed schedules the watchdog
+/// must report every survivor permanently blocked.
+#[test]
+fn kill_mid_dequeue_on_single_lock_watchdog_flags_survivors_across_16_seeds() {
+    let base = SimConfig {
+        processors: 3,
+        quantum_ns: 60_000,
+        watchdog_ns: 50_000_000,
+        ..SimConfig::default()
+    };
+    schedule_sweep(base, 16, |cfg| {
+        let seed = cfg.seed;
+        let point = run_simulated_faulted(
+            Algorithm::SingleLock,
+            cfg,
+            &tiny(),
+            FaultPlan::new().kill_at_label(0, "single-lock:deq:locked", 0),
+        );
+        assert_eq!(point.killed, vec![0], "seed {seed:#x}");
+        assert!(
+            !point.survivors_completed(),
+            "seed {seed:#x}: a single-lock dequeue death should block survivors"
+        );
+        assert_eq!(
+            point.blocked.len(),
+            2,
+            "seed {seed:#x}: both survivors hang on the dead process's lock: {:?}",
+            point.blocked
+        );
+        assert_eq!(
+            point.drained, None,
+            "seed {seed:#x}: drain must not be attempted"
+        );
+    });
+}
+
+/// The two-lock queue's `H_lock` is just as fatal held-at-death: the
+/// paper's Figure 2 algorithm lets enqueuers sail past (T_lock is
+/// independent) but every survivor eventually needs a dequeue, wedges on
+/// the dead holder, and is watchdog-flagged — across 16 schedules.
+#[test]
+fn kill_mid_dequeue_on_two_lock_watchdog_flags_survivors_across_16_seeds() {
+    let base = SimConfig {
+        processors: 3,
+        quantum_ns: 60_000,
+        watchdog_ns: 50_000_000,
+        ..SimConfig::default()
+    };
+    schedule_sweep(base, 16, |cfg| {
+        let seed = cfg.seed;
+        let point = run_simulated_faulted(
+            Algorithm::NewTwoLock,
+            cfg,
+            &tiny(),
+            FaultPlan::new().kill_at_label(0, "two-lock:deq:locked", 0),
+        );
+        assert_eq!(point.killed, vec![0], "seed {seed:#x}");
+        assert!(
+            !point.survivors_completed(),
+            "seed {seed:#x}: a dead H_lock holder should block survivors"
+        );
+        assert_eq!(
+            point.blocked.len(),
+            2,
+            "seed {seed:#x}: both survivors wedge on their next dequeue: {:?}",
+            point.blocked
+        );
+        assert_eq!(point.drained, None, "seed {seed:#x}");
+    });
+}
+
+/// Restart-and-catch-up on the MS queue: the designated survivor sees
+/// the death notice, replays the victim's whole residual share, and the
+/// handoff is stamped with a positive time-to-recover — deterministically
+/// across 16 perturbed schedules.
+#[test]
+fn dequeue_kill_recovery_absorbs_residual_share_across_16_seeds() {
+    let base = SimConfig {
+        processors: 3,
+        quantum_ns: 60_000,
+        watchdog_ns: 400_000_000,
+        ..SimConfig::default()
+    };
+    schedule_sweep(base, 16, |cfg| {
+        let seed = cfg.seed;
+        let point = run_simulated_recovered(
+            Algorithm::NewNonBlocking,
+            cfg,
+            &tiny(),
+            FaultPlan::new().kill_at_label(1, "msq:deq:window", 0),
+            RecoveryPolicy::designated(0),
+        );
+        assert_eq!(point.killed, vec![1], "seed {seed:#x}");
+        assert!(
+            point.survivors_completed(),
+            "seed {seed:#x}: blocked {:?}",
+            point.blocked
+        );
+        // The victim died inside its first dequeue: its whole 80-pair
+        // share is residual and must be replayed.
+        assert_eq!(point.recovered_pairs, 80, "seed {seed:#x}");
+        assert_eq!(
+            point.pairs_completed + point.recovered_pairs,
+            240,
+            "seed {seed:#x}"
+        );
+        assert_eq!(point.recoveries.len(), 1, "seed {seed:#x}");
+        let ttr = point.time_to_recover_ns.expect("recovery completed");
+        assert!(ttr > 0, "seed {seed:#x}: catch-up costs virtual time");
+        assert_eq!(point.drained, Some(0), "seed {seed:#x}");
+    });
+}
+
+/// The "unless the lock-holder's death is survivable" nuance:
+/// Mellor-Crummey is blocking on the enqueue side (its torn-tail window
+/// wedges survivors), but a dequeue-window death tears nothing — the
+/// designated survivor absorbs the victim's share like a non-blocking
+/// queue's would.
+#[test]
+fn mellor_crummey_dequeue_death_is_survivable_and_recoverable() {
+    let point = run_simulated_recovered(
+        Algorithm::MellorCrummey,
+        SimConfig {
+            processors: 3,
+            watchdog_ns: 400_000_000,
+            ..SimConfig::default()
+        },
+        &tiny(),
+        FaultPlan::new().kill_at_label(1, "mc:deq:window", 0),
+        RecoveryPolicy::designated(0),
+    );
+    assert_eq!(point.killed, vec![1]);
+    assert!(point.survivors_completed(), "blocked: {:?}", point.blocked);
+    assert_eq!(point.recovered_pairs, 80);
+    assert_eq!(point.recoveries.len(), 1);
+    assert!(point.time_to_recover_ns.expect("recovered") > 0);
 }
 
 /// The native analogue: a thread that panics while holding an

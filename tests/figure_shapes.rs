@@ -213,6 +213,63 @@ fn batching_amortizes_contention_at_scale() {
 }
 
 #[test]
+fn recovery_asymmetry_survivable_absorbs_residual_lock_based_flagged() {
+    // The committed shape of `BENCH_fault.json`'s recovery cells, at
+    // reduced scale: kill pid 1 at its first pass through each contender's
+    // dequeue-side fault point and let pid 0 run restart-and-catch-up.
+    // Wherever the dequeue-window death is survivable — the four
+    // non-blocking queues, both extensions, and Mellor-Crummey (whose
+    // dequeue tears nothing even though its enqueue window is blocking) —
+    // the recovery cost is exactly the victim's residual share and a
+    // positive time-to-recover is stamped. On the queues whose dequeue
+    // window is a held lock, the watchdog flags the wedged survivors and
+    // nothing is recovered.
+    use ms_queues::{run_simulated_recovered, FaultPlan, RecoveryPolicy};
+    let workload = WorkloadConfig {
+        pairs_total: 1_200,
+        ..workload()
+    };
+    for algorithm in Algorithm::WITH_EXTENSIONS {
+        let point = run_simulated_recovered(
+            algorithm,
+            SimConfig {
+                processors: 4,
+                watchdog_ns: 400_000_000,
+                ..SimConfig::default()
+            },
+            &workload,
+            FaultPlan::new().kill_at_label(1, algorithm.dequeue_fault_label(), 0),
+            RecoveryPolicy::designated(0),
+        );
+        assert_eq!(point.killed, vec![1], "{algorithm}: the kill must fire");
+        if algorithm.dequeue_death_survivable() {
+            assert!(
+                point.survivors_completed(),
+                "{algorithm}: blocked {:?}",
+                point.blocked
+            );
+            assert!(point.recovered_pairs > 0, "{algorithm}");
+            assert_eq!(
+                point.pairs_completed + point.recovered_pairs,
+                1_200,
+                "{algorithm}: recovery cost must be exactly the residual share"
+            );
+            assert!(
+                point.time_to_recover_ns.expect("handoff stamped") > 0,
+                "{algorithm}"
+            );
+        } else {
+            assert!(
+                !point.survivors_completed(),
+                "{algorithm}: a dead H_lock holder must wedge the survivors"
+            );
+            assert_eq!(point.recovered_pairs, 0, "{algorithm}");
+            assert_eq!(point.time_to_recover_ns, None, "{algorithm}");
+        }
+    }
+}
+
+#[test]
 fn shape_is_stable_under_cost_model_perturbation() {
     // DESIGN.md claims the qualitative result is not an artifact of the
     // default cost constants: double and halve the miss cost.

@@ -369,6 +369,65 @@ fn two_lock_budget_attaches_through_the_registry() {
     assert_eq!(budget.reserved(), before, "registry path releases on drop");
 }
 
+/// **Reclamation survives the reclaimer's death.** The word-level segment
+/// queue recycles a drained segment through a drop guard held across its
+/// `seg:reclaim` fault point: a process killed mid-reclaim frees the
+/// segment (and credits its budget unit) during the kill unwind, on the
+/// dead process's post-mortem direct path. Under a tiny budget this is
+/// load-bearing — a leaked segment would be a quarter of the whole
+/// allowance — so the run must end at the dummy-only floor regardless.
+#[test]
+fn killed_reclaimer_still_frees_the_segment_under_a_tiny_budget() {
+    use ms_queues::{
+        ConcurrentWordQueue, FaultPlan, MemBudget, SimConfig, Simulation, WordSegQueue,
+    };
+
+    const LIMIT: u64 = 4;
+    let sim = Simulation::with_faults(
+        SimConfig {
+            processors: 3,
+            ..SimConfig::default()
+        },
+        FaultPlan::new().kill_at_label(0, "seg:reclaim", 0),
+    );
+    let platform = sim.platform();
+    let budget = Arc::new(MemBudget::new(&platform, LIMIT));
+    let queue = Arc::new(WordSegQueue::with_capacity_and_budget(
+        &platform,
+        4_096,
+        Arc::clone(&budget),
+    ));
+    let report = sim.run({
+        let queue = Arc::clone(&queue);
+        move |info| {
+            for i in 0..200_u64 {
+                let value = ((info.pid as u64) << 40) | i;
+                while queue.enqueue(value).is_err() {
+                    queue.dequeue();
+                }
+                while queue.dequeue().is_none() {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    });
+    assert_eq!(report.killed, vec![0], "the reclaim-window kill fired");
+    assert!(
+        report.blocked.is_empty(),
+        "death in the reclaim ladder blocks nobody: {:?}",
+        report.blocked
+    );
+    while queue.dequeue().is_some() {}
+    assert_eq!(
+        budget.reserved(),
+        1,
+        "the victim's half-reclaimed segment must reach the free list via \
+         its unwind, leaving only the dummy resident after the drain"
+    );
+    assert!(budget.peak() <= LIMIT, "the bound held across the death");
+    assert_eq!(budget.overruns(), 0);
+}
+
 #[test]
 fn queues_dropped_mid_flight_leak_nothing() {
     let drops = Arc::new(AtomicU64::new(0));
