@@ -1,0 +1,701 @@
+//! Crash-survivable variants of the blocking baselines.
+//!
+//! The plain blocking queues wedge forever when a process dies inside
+//! their critical window (DESIGN.md §11). These variants close that hole
+//! with the lock-revocation and invariant-repair protocol of DESIGN.md
+//! §13:
+//!
+//! * [`RepairableSingleLockQueue`] swaps the TTAS lock for a
+//!   [`RevocableLock`] and publishes an **intent cell** inside the
+//!   critical section: `node + 1` while an enqueue (or the old dummy
+//!   while a dequeue) is in flight, `0` otherwise. A waiter that revokes
+//!   the lock from a dead holder reads the intent and either *completes*
+//!   the half-done operation (the link or head swing already landed) or
+//!   *discards* it (frees the half-inserted node back to the arena).
+//! * [`RepairableMcQueue`] has no lock to revoke — Mellor-Crummey's
+//!   enqueue is a `swap`-then-link sequence — so it publishes per-process
+//!   **announce cells** around the torn-tail window instead. A dequeuer
+//!   that finds the list torn (or simply observes a death notice)
+//!   CAS-claims the dead process's announce cell and completes the link
+//!   or rolls the allocation back.
+//!
+//! Every repair is stamped into the run's [`msq_sim::SimReport`] via
+//! [`Platform::mark_repaired`] with an outcome label
+//! (`…:repair:enq-complete`, `…:repair:enq-discard`,
+//! `…:repair:deq-complete`, `…:repair:deq-rollback`), so the harness can
+//! measure time-to-repair exactly like time-to-recover.
+//!
+//! The intent/announce traffic is charged like any other shared-memory
+//! op — repairability has an honest price, which `faultbench` Cell 4
+//! reports. The plain variants are untouched; repair is strictly
+//! pay-for-use.
+
+use msq_arena::NodeArena;
+use msq_platform::{
+    AtomicWord, Backoff, BackoffConfig, ConcurrentWordQueue, Platform, QueueFull, Tagged,
+    NULL_INDEX,
+};
+use msq_sync::{Acquired, RevocableLock};
+
+/// Process ids the repair protocol can track (the width of the death
+/// board). Processes with higher ids still run correctly but die
+/// unrepairably, exactly like the plain variants.
+pub const REPAIR_PIDS: usize = 64;
+
+/// The single-lock queue under a [`RevocableLock`], with intent-cell
+/// repair: the crash-survivable counterpart of
+/// [`crate::SingleLockQueue`].
+///
+/// # Example
+///
+/// ```
+/// use msq_baselines::RepairableSingleLockQueue;
+/// use msq_platform::{ConcurrentWordQueue, NativePlatform};
+///
+/// let queue = RepairableSingleLockQueue::with_capacity(&NativePlatform::new(), 8);
+/// queue.enqueue(5).unwrap();
+/// assert_eq!(queue.dequeue(), Some(5));
+/// ```
+pub struct RepairableSingleLockQueue<P: Platform> {
+    head: P::Cell,
+    tail: P::Cell,
+    lock: RevocableLock<P>,
+    /// `node + 1` while an enqueue is inside the critical section and its
+    /// effect may be torn; `0` otherwise. Only the lock holder writes it.
+    enq_intent: P::Cell,
+    /// `old_dummy + 1` while a dequeue is past its emptiness check; `0`
+    /// otherwise. Only the lock holder writes it.
+    deq_intent: P::Cell,
+    arena: NodeArena<P>,
+    platform: P,
+}
+
+impl<P: Platform> RepairableSingleLockQueue<P> {
+    /// Creates a queue able to hold `capacity` values simultaneously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity + 1` does not fit a tagged index.
+    pub fn with_capacity(platform: &P, capacity: u32) -> Self {
+        Self::with_capacity_and_backoff(platform, capacity, BackoffConfig::DEFAULT)
+    }
+
+    /// As [`RepairableSingleLockQueue::with_capacity`] with explicit lock
+    /// backoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity + 1` does not fit a tagged index.
+    pub fn with_capacity_and_backoff(platform: &P, capacity: u32, backoff: BackoffConfig) -> Self {
+        let arena = NodeArena::new(
+            platform,
+            capacity.checked_add(1).expect("capacity overflow"),
+        );
+        Self::from_arena(platform, arena, backoff)
+    }
+
+    /// As [`RepairableSingleLockQueue::with_capacity`], metering the node
+    /// pool (one unit per node, `capacity + 1` total for the dummy)
+    /// against `budget` for the queue's lifetime. A node discarded by
+    /// repair goes back to the arena free list, so its unit stays
+    /// reserved by the pool and is credited back when the queue drops —
+    /// repair never leaks a reservation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity + 1` does not fit a tagged index.
+    pub fn with_capacity_and_budget(
+        platform: &P,
+        capacity: u32,
+        budget: std::sync::Arc<msq_arena::MemBudget<P>>,
+    ) -> Self {
+        let arena = NodeArena::with_budget(
+            platform,
+            capacity.checked_add(1).expect("capacity overflow"),
+            budget,
+        );
+        Self::from_arena(platform, arena, BackoffConfig::DEFAULT)
+    }
+
+    fn from_arena(platform: &P, arena: NodeArena<P>, backoff: BackoffConfig) -> Self {
+        let dummy = arena.alloc().expect("fresh arena");
+        arena.set_next(dummy, NULL_INDEX);
+        // Touch the death board during untimed setup so its cell id (and
+        // therefore every trace) is fixed before the run starts.
+        let _ = platform.dead_peers();
+        RepairableSingleLockQueue {
+            head: platform.alloc_cell(u64::from(dummy)),
+            tail: platform.alloc_cell(u64::from(dummy)),
+            lock: RevocableLock::with_backoff(platform, backoff),
+            enq_intent: platform.alloc_cell(0),
+            deq_intent: platform.alloc_cell(0),
+            arena,
+            platform: platform.clone(),
+        }
+    }
+
+    /// Maximum number of values the queue can hold.
+    pub fn capacity(&self) -> u32 {
+        self.arena.capacity() - 1
+    }
+
+    /// Repairs the torn critical section of dead process `victim`, from
+    /// whom the caller just revoked the lock. Reads the intent cells to
+    /// learn what was in flight, then completes or rolls back:
+    ///
+    /// | intent | structure state | action | outcome |
+    /// |---|---|---|---|
+    /// | enqueue of `n` | `Tail == n` | nothing torn | `enq-complete` |
+    /// | enqueue of `n` | `next(Tail) == n` | swing `Tail` to `n` | `enq-complete` |
+    /// | enqueue of `n` | `n` unlinked | free `n` | `enq-discard` |
+    /// | dequeue of `d` | `Head == d` | nothing happened | `deq-rollback` |
+    /// | dequeue of `d` | `Head` moved past `d` | free `d` | `deq-complete` |
+    /// | none | invariant intact | nothing | `intact` |
+    fn repair(&self, victim: usize) {
+        let outcome = self.repair_torn_state();
+        self.platform.mark_repaired(victim, outcome);
+    }
+
+    fn repair_torn_state(&self) -> &'static str {
+        let intent = self.enq_intent.load();
+        if intent != 0 {
+            let node = (intent - 1) as u32;
+            self.enq_intent.store(0);
+            let tail = self.tail.load() as u32;
+            if tail == node {
+                // The victim finished everything but the intent clear.
+                return "single-lock:repair:enq-complete";
+            }
+            let link = self.arena.next(tail);
+            if !link.is_null() && link.index() == node {
+                // Linked but Tail not swung: finish the enqueue. The
+                // victim's operation took effect — count it linearized.
+                self.tail.store(u64::from(node));
+                return "single-lock:repair:enq-complete";
+            }
+            // Never linked: the enqueue did not happen. Discard the node
+            // so its arena unit (and any memory-budget reservation it
+            // backs) is not leaked.
+            self.arena.free(node);
+            return "single-lock:repair:enq-discard";
+        }
+        let intent = self.deq_intent.load();
+        if intent != 0 {
+            let node = (intent - 1) as u32;
+            self.deq_intent.store(0);
+            if self.head.load() as u32 == node {
+                // Head never swung: the dequeue did not happen.
+                return "single-lock:repair:deq-rollback";
+            }
+            // Head swung but the victim died before recycling the old
+            // dummy: free it.
+            self.arena.free(node);
+            return "single-lock:repair:deq-complete";
+        }
+        // Died between acquiring the lock and publishing intent (or after
+        // clearing it): the invariant is intact.
+        "single-lock:repair:intact"
+    }
+}
+
+impl<P: Platform> ConcurrentWordQueue for RepairableSingleLockQueue<P> {
+    fn enqueue(&self, value: u64) -> Result<(), QueueFull> {
+        let Some(node) = self.arena.alloc() else {
+            return Err(QueueFull(value));
+        };
+        self.arena.set_value(node, value);
+        self.arena.set_next(node, NULL_INDEX);
+        if let Acquired::Repairing { victim } = self.lock.lock(&self.platform) {
+            self.repair(victim);
+        }
+        self.enq_intent.store(u64::from(node) + 1);
+        // Same kill window as the plain queue — but here a death leaves a
+        // repairable intent record instead of a wedged queue.
+        self.platform.fault_point("single-lock:enq:locked");
+        let tail = self.tail.load() as u32;
+        self.arena.set_next(tail, node);
+        self.tail.store(u64::from(node));
+        self.enq_intent.store(0);
+        self.lock.unlock(&self.platform);
+        Ok(())
+    }
+
+    fn dequeue(&self) -> Option<u64> {
+        if let Acquired::Repairing { victim } = self.lock.lock(&self.platform) {
+            self.repair(victim);
+        }
+        let node = self.head.load() as u32;
+        let next = self.arena.next(node);
+        if next.is_null() {
+            self.lock.unlock(&self.platform);
+            return None;
+        }
+        self.deq_intent.store(u64::from(node) + 1);
+        self.platform.fault_point("single-lock:deq:locked");
+        let value = self.arena.value(next.index());
+        self.head.store(u64::from(next.index()));
+        self.deq_intent.store(0);
+        self.lock.unlock(&self.platform);
+        self.arena.free(node);
+        Some(value)
+    }
+
+    fn name(&self) -> &'static str {
+        "single-lock-repair"
+    }
+
+    fn is_nonblocking(&self) -> bool {
+        false
+    }
+}
+
+impl<P: Platform> std::fmt::Debug for RepairableSingleLockQueue<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RepairableSingleLockQueue(capacity={})", self.capacity())
+    }
+}
+
+/// Mellor-Crummey's queue with announce-cell repair: the crash-survivable
+/// counterpart of [`crate::McQueue`].
+///
+/// There is no lock to revoke — the hazard is the torn-tail window
+/// between the enqueue's `swap` and its link store. Each enqueue
+/// publishes its progress in a per-process announce cell:
+///
+/// 1. `node + 1` — allocated, not yet published (a death here is rolled
+///    back by freeing the node);
+/// 2. `(prev + 1) << 32 | (node + 1)` — `Tail` swapped, link not yet
+///    stored (a death here is completed by storing the link);
+/// 3. `0` — linked; nothing in flight.
+///
+/// Dequeues announce `old_dummy + 1` between their winning head CAS and
+/// the recycle, so a death there frees the stranded dummy.
+///
+/// Dequeuers poll [`Platform::dead_peers`] once per call (and on every
+/// torn-tail wait iteration) and CAS-claim dead processes' announce
+/// cells; the claim makes each repair exactly-once even with several
+/// concurrent repairers.
+///
+/// # Example
+///
+/// ```
+/// use msq_baselines::RepairableMcQueue;
+/// use msq_platform::{ConcurrentWordQueue, NativePlatform};
+///
+/// let queue = RepairableMcQueue::with_capacity(&NativePlatform::new(), 8);
+/// queue.enqueue(3).unwrap();
+/// assert_eq!(queue.dequeue(), Some(3));
+/// ```
+pub struct RepairableMcQueue<P: Platform> {
+    /// Tagged word (dequeuers CAS it, so it needs the ABA counter).
+    head: P::Cell,
+    /// Plain node index: only ever `swap`ped, which is ABA-immune.
+    tail: P::Cell,
+    /// Per-process enqueue progress (see the type-level docs).
+    enq_announce: Vec<P::Cell>,
+    /// Per-process dequeue progress: `old_dummy + 1` between the winning
+    /// head CAS and the recycle.
+    deq_announce: Vec<P::Cell>,
+    /// Bit `p` set once `p`'s death has been fully repaired — an
+    /// optimization that spares later dequeues the announce-cell scan.
+    repaired_mask: P::Cell,
+    arena: NodeArena<P>,
+    platform: P,
+    backoff: BackoffConfig,
+}
+
+impl<P: Platform> RepairableMcQueue<P> {
+    /// Creates a queue able to hold `capacity` values simultaneously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity + 1` does not fit a tagged index.
+    pub fn with_capacity(platform: &P, capacity: u32) -> Self {
+        Self::with_capacity_and_backoff(platform, capacity, BackoffConfig::DEFAULT)
+    }
+
+    /// As [`RepairableMcQueue::with_capacity`] with explicit backoff
+    /// parameters for the dequeue-side waits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity + 1` does not fit a tagged index.
+    pub fn with_capacity_and_backoff(platform: &P, capacity: u32, backoff: BackoffConfig) -> Self {
+        let arena = NodeArena::new(
+            platform,
+            capacity.checked_add(1).expect("capacity overflow"),
+        );
+        Self::from_arena(platform, arena, backoff)
+    }
+
+    /// As [`RepairableMcQueue::with_capacity`], metering the node pool
+    /// against `budget` for the queue's lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity + 1` does not fit a tagged index.
+    pub fn with_capacity_and_budget(
+        platform: &P,
+        capacity: u32,
+        budget: std::sync::Arc<msq_arena::MemBudget<P>>,
+    ) -> Self {
+        let arena = NodeArena::with_budget(
+            platform,
+            capacity.checked_add(1).expect("capacity overflow"),
+            budget,
+        );
+        Self::from_arena(platform, arena, BackoffConfig::DEFAULT)
+    }
+
+    fn from_arena(platform: &P, arena: NodeArena<P>, backoff: BackoffConfig) -> Self {
+        let dummy = arena.alloc().expect("fresh arena");
+        arena.set_next(dummy, NULL_INDEX);
+        let _ = platform.dead_peers();
+        RepairableMcQueue {
+            head: platform.alloc_cell(Tagged::new(dummy, 0).raw()),
+            tail: platform.alloc_cell(u64::from(dummy)),
+            enq_announce: (0..REPAIR_PIDS).map(|_| platform.alloc_cell(0)).collect(),
+            deq_announce: (0..REPAIR_PIDS).map(|_| platform.alloc_cell(0)).collect(),
+            repaired_mask: platform.alloc_cell(0),
+            arena,
+            platform: platform.clone(),
+            backoff,
+        }
+    }
+
+    /// Maximum number of values the queue can hold.
+    pub fn capacity(&self) -> u32 {
+        self.arena.capacity() - 1
+    }
+
+    /// Consults the death board and repairs any dead process whose
+    /// announce cell still records an in-flight operation. Exactly-once
+    /// per victim via the CAS claim on the announce cell itself; the
+    /// `repaired_mask` short-circuit keeps the steady-state cost after a
+    /// handled death to two loads per dequeue.
+    fn repair_dead(&self) {
+        let dead = self.platform.dead_peers();
+        if dead == 0 {
+            return;
+        }
+        let done = self.repaired_mask.load();
+        let pending = dead & !done;
+        if pending == 0 {
+            return;
+        }
+        for pid in 0..REPAIR_PIDS.min(64) {
+            if pending & (1 << pid) == 0 {
+                continue;
+            }
+            let slot = &self.enq_announce[pid];
+            let v = slot.load();
+            if v != 0 && slot.cas(v, 0) {
+                let outcome = if v >> 32 == 0 {
+                    // Allocated but never published: roll back.
+                    self.arena.free((v - 1) as u32);
+                    "mc:repair:enq-discard"
+                } else {
+                    // Tail swapped but the link never landed — the tear
+                    // that blocks every plain-MC dequeuer. Complete it.
+                    let prev = ((v >> 32) - 1) as u32;
+                    let node = ((v & 0xffff_ffff) - 1) as u32;
+                    self.arena.set_next(prev, node);
+                    "mc:repair:enq-complete"
+                };
+                self.platform.mark_repaired(pid, outcome);
+            }
+            let slot = &self.deq_announce[pid];
+            let v = slot.load();
+            if v != 0 && slot.cas(v, 0) {
+                // Head swung but the old dummy was never recycled.
+                self.arena.free((v - 1) as u32);
+                self.platform.mark_repaired(pid, "mc:repair:deq-complete");
+            }
+        }
+        // Best-effort: losing this CAS only means another repairer
+        // published the bits; the announce claims above are what make
+        // each repair exactly-once.
+        let _ = self.repaired_mask.cas(done, done | pending);
+    }
+}
+
+impl<P: Platform> ConcurrentWordQueue for RepairableMcQueue<P> {
+    fn enqueue(&self, value: u64) -> Result<(), QueueFull> {
+        let Some(node) = self.arena.alloc() else {
+            return Err(QueueFull(value));
+        };
+        self.arena.set_value(node, value);
+        self.arena.set_next(node, NULL_INDEX);
+        let pid = self.platform.affinity_hint();
+        let slot = (pid < REPAIR_PIDS).then(|| &self.enq_announce[pid]);
+        if let Some(slot) = slot {
+            slot.store(u64::from(node) + 1);
+        }
+        let prev = self.tail.swap(u64::from(node)) as u32;
+        if let Some(slot) = slot {
+            slot.store((u64::from(prev) + 1) << 32 | (u64::from(node) + 1));
+        }
+        // The same torn-tail window as plain MC — but the announce cell
+        // above lets any survivor complete the link if we die here.
+        self.platform.fault_point("mc:enq:window");
+        self.arena.set_next(prev, node);
+        if let Some(slot) = slot {
+            slot.store(0);
+        }
+        Ok(())
+    }
+
+    fn dequeue(&self) -> Option<u64> {
+        self.repair_dead();
+        let pid = self.platform.affinity_hint();
+        let slot = (pid < REPAIR_PIDS).then(|| &self.deq_announce[pid]);
+        let mut backoff = Backoff::new(self.backoff);
+        loop {
+            let head = Tagged::from_raw(self.head.load());
+            let next = self.arena.next(head.index());
+            if next.is_null() {
+                if self.tail.load() as u32 == head.index() {
+                    return None;
+                }
+                // Torn tail: a stalled — or dead — enqueuer. Plain MC can
+                // only wait; here we check for a death notice and repair.
+                self.repair_dead();
+                backoff.spin(&self.platform);
+                continue;
+            }
+            let value = self.arena.value(next.index());
+            if self
+                .head
+                .cas(head.raw(), head.with_index(next.index()).raw())
+            {
+                if let Some(slot) = slot {
+                    slot.store(u64::from(head.index()) + 1);
+                }
+                self.platform.fault_point("mc:deq:window");
+                self.arena.free(head.index());
+                if let Some(slot) = slot {
+                    slot.store(0);
+                }
+                return Some(value);
+            }
+            backoff.spin(&self.platform);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "mellor-crummey-repair"
+    }
+
+    fn is_nonblocking(&self) -> bool {
+        false
+    }
+}
+
+impl<P: Platform> std::fmt::Debug for RepairableMcQueue<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RepairableMcQueue(capacity={})", self.capacity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msq_platform::NativePlatform;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_lock_repairable_fifo_and_capacity() {
+        let q = RepairableSingleLockQueue::with_capacity(&NativePlatform::new(), 2);
+        q.enqueue(1).unwrap();
+        q.enqueue(2).unwrap();
+        assert_eq!(q.enqueue(3), Err(QueueFull(3)));
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn mc_repairable_fifo_and_capacity() {
+        let q = RepairableMcQueue::with_capacity(&NativePlatform::new(), 2);
+        q.enqueue(1).unwrap();
+        q.enqueue(2).unwrap();
+        assert_eq!(q.enqueue(3), Err(QueueFull(3)));
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn repairable_variants_report_identity() {
+        let p = NativePlatform::new();
+        let q = RepairableSingleLockQueue::with_capacity(&p, 1);
+        assert_eq!(q.name(), "single-lock-repair");
+        assert!(!q.is_nonblocking());
+        let q = RepairableMcQueue::with_capacity(&p, 1);
+        assert_eq!(q.name(), "mellor-crummey-repair");
+        assert!(!q.is_nonblocking());
+    }
+
+    #[test]
+    fn single_lock_repairable_concurrent_conservation() {
+        let q = Arc::new(RepairableSingleLockQueue::with_capacity(
+            &NativePlatform::new(),
+            256,
+        ));
+        let sum = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let got = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let total = 4 * 2_000_u64;
+        let mut handles = Vec::new();
+        for t in 0..4_u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000_u64 {
+                    let v = t * 2_000 + i + 1;
+                    while q.enqueue(v).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            let sum = Arc::clone(&sum);
+            let got = Arc::clone(&got);
+            handles.push(std::thread::spawn(move || {
+                while got.load(std::sync::atomic::Ordering::SeqCst) < total {
+                    if let Some(v) = q.dequeue() {
+                        sum.fetch_add(v, std::sync::atomic::Ordering::SeqCst);
+                        got.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            sum.load(std::sync::atomic::Ordering::SeqCst),
+            (1..=total).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn mc_repairable_concurrent_conservation() {
+        let q = Arc::new(RepairableMcQueue::with_capacity(
+            &NativePlatform::new(),
+            256,
+        ));
+        let sum = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let got = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let total = 4 * 2_000_u64;
+        let mut handles = Vec::new();
+        for t in 0..4_u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000_u64 {
+                    let v = t * 2_000 + i + 1;
+                    while q.enqueue(v).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            let sum = Arc::clone(&sum);
+            let got = Arc::clone(&got);
+            handles.push(std::thread::spawn(move || {
+                while got.load(std::sync::atomic::Ordering::SeqCst) < total {
+                    if let Some(v) = q.dequeue() {
+                        sum.fetch_add(v, std::sync::atomic::Ordering::SeqCst);
+                        got.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            sum.load(std::sync::atomic::Ordering::SeqCst),
+            (1..=total).sum::<u64>()
+        );
+    }
+
+    /// The headline tentpole property at the queue level: a process
+    /// killed while holding the (single) queue lock is dispossessed by a
+    /// survivor, the half-done enqueue is repaired, and the queue keeps
+    /// serving — no watchdog retirement, conservation intact.
+    #[test]
+    fn killed_enqueuer_is_repaired_and_survivors_proceed() {
+        use msq_sim::{FaultPlan, SimConfig, Simulation};
+        let sim = Simulation::with_faults(
+            SimConfig {
+                processors: 3,
+                watchdog_ns: 400_000_000,
+                ..SimConfig::default()
+            },
+            FaultPlan::new().kill_at_label(0, "single-lock:enq:locked", 2),
+        );
+        let platform = sim.platform();
+        let q = Arc::new(RepairableSingleLockQueue::with_capacity(&platform, 64));
+        let report = sim.run({
+            let q = Arc::clone(&q);
+            move |info| {
+                for i in 0..20u64 {
+                    q.enqueue((info.pid as u64) << 32 | i).unwrap();
+                    q.dequeue().expect("a value is always available");
+                }
+            }
+        });
+        assert_eq!(report.killed, vec![0]);
+        assert!(report.blocked.is_empty(), "repair must beat the watchdog");
+        assert_eq!(report.repairs.len(), 1);
+        assert_eq!(report.repairs[0].victim, 0);
+        assert!(report.repairs[0].point.starts_with("single-lock:repair:"));
+        assert!(report.repairs[0].time_to_repair_ns() > 0);
+        // Survivors completed all their pairs; at most the victim's
+        // in-flight value remains (completed repair) or none (discard).
+        let mut rest = 0;
+        while q.dequeue().is_some() {
+            rest += 1;
+        }
+        assert!(rest <= 1, "at most the victim's in-flight enqueue remains");
+    }
+
+    /// Same property for MC's torn-tail window: the dead enqueuer's link
+    /// is completed by a waiting dequeuer (there is no lock — the repair
+    /// is claimed through the announce cell).
+    #[test]
+    fn killed_mc_enqueuer_torn_tail_is_healed() {
+        use msq_sim::{FaultPlan, SimConfig, Simulation};
+        let sim = Simulation::with_faults(
+            SimConfig {
+                processors: 3,
+                watchdog_ns: 400_000_000,
+                ..SimConfig::default()
+            },
+            FaultPlan::new().kill_at_label(0, "mc:enq:window", 2),
+        );
+        let platform = sim.platform();
+        let q = Arc::new(RepairableMcQueue::with_capacity(&platform, 64));
+        let report = sim.run({
+            let q = Arc::clone(&q);
+            move |info| {
+                for i in 0..20u64 {
+                    q.enqueue((info.pid as u64) << 32 | i).unwrap();
+                    q.dequeue().expect("a value is always available");
+                }
+            }
+        });
+        assert_eq!(report.killed, vec![0]);
+        assert!(report.blocked.is_empty(), "repair must beat the watchdog");
+        assert_eq!(report.repairs.len(), 1);
+        assert_eq!(report.repairs[0].point, "mc:repair:enq-complete");
+        assert!(report.repairs[0].time_to_repair_ns() > 0);
+        // The victim's announced enqueue was completed by the repair, so
+        // exactly its in-flight value remains after the survivors' pairs.
+        assert!(q.dequeue().is_some(), "the healed enqueue is dequeueable");
+        assert_eq!(q.dequeue(), None);
+    }
+}

@@ -24,7 +24,14 @@
 //!
 //! The stall comparison is repeated at 64 processors (the raised
 //! simulator ceiling) for the three headline algorithms, and the
-//! Figure 4–5 ordering is asserted there as well.
+//! Figure 4–5 ordering is asserted there as well. Two later cells extend
+//! the death story: **Cell 3** layers restart-and-catch-up recovery on
+//! every contender (survivable windows absorb the victim's residual
+//! share; held-lock windows watchdog), and **Cell 4** reruns the
+//! held-lock deaths on the *repairable* builds (DESIGN.md §13), where a
+//! waiter revokes the dead holder's lock and repairs the torn invariant
+//! — reported as **time-to-repair**, with no lock queue left
+//! watchdog-blocked.
 //!
 //! Run from the workspace root: `cargo run --release -p msq-bench --bin
 //! faultbench`. Writes `BENCH_fault.json` in the current directory. Pass
@@ -33,7 +40,10 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use msq_harness::{run_simulated_faulted, run_simulated_recovered, Algorithm, WorkloadConfig};
+use msq_harness::{
+    run_simulated_faulted, run_simulated_recovered, run_simulated_repaired, Algorithm,
+    WorkloadConfig,
+};
 use msq_platform::Platform;
 use msq_sim::{FaultPlan, RecoveryPolicy, SimConfig, Simulation};
 
@@ -324,6 +334,52 @@ fn main() {
         recovery_cells.push(RecoveryCell { algorithm, point });
     }
 
+    // --- Cell 4: revocable-lock repair cells (DESIGN.md §13). The same
+    // kind of death that leaves Cell 3's lock queues watchdog-flagged —
+    // pid 1 killed while holding each lock or blocking window — is rerun
+    // on the *repairable* builds: a waiter revokes the dead holder's
+    // lock, repairs the torn invariant, and the designated survivor
+    // absorbs the residual share. The reported metric is
+    // **time-to-repair**: the virtual time from the kill to the
+    // repairing waiter's verdict. ---
+    struct RepairCell {
+        algorithm: Algorithm,
+        kill_label: &'static str,
+        point: msq_harness::FaultedPoint,
+    }
+    const REPAIR_KILLS: [(Algorithm, &str); 6] = [
+        (Algorithm::SingleLock, "single-lock:enq:locked"),
+        (Algorithm::SingleLock, "single-lock:deq:locked"),
+        (Algorithm::NewTwoLock, "two-lock:enq:locked"),
+        (Algorithm::NewTwoLock, "two-lock:deq:locked"),
+        (Algorithm::MellorCrummey, "mc:enq:window"),
+        (Algorithm::MellorCrummey, "mc:deq:window"),
+    ];
+    let mut repair_cells: Vec<RepairCell> = Vec::new();
+    for (algorithm, kill_label) in REPAIR_KILLS {
+        let point = run_simulated_repaired(
+            algorithm,
+            faulted_cfg,
+            &workload,
+            FaultPlan::new().kill_at_label(1, kill_label, 0),
+            RecoveryPolicy::designated(0),
+        );
+        eprintln!(
+            "repair {:<16} @ {:<24} killed {:?}, blocked {:?}, verdict {:?}, ttr {:?} ns",
+            algorithm.label(),
+            kill_label,
+            point.killed,
+            point.blocked,
+            point.repairs.first().map(|r| r.point),
+            point.time_to_repair_ns
+        );
+        repair_cells.push(RepairCell {
+            algorithm,
+            kill_label,
+            point,
+        });
+    }
+
     // --- Acceptance. ---
     let max_stall = *STALL_LENGTHS.last().unwrap();
     let injected = NUM_STALLS * max_stall;
@@ -395,6 +451,19 @@ fn main() {
                 && c.point.recovered_pairs == 0
                 && c.point.time_to_recover_ns.is_none()
         });
+    // The tentpole claim: under repair *no* lock queue ends
+    // watchdog-blocked — every cell completes with full conservation,
+    // exactly one repair stamped with a positive time-to-repair, and a
+    // drainable queue.
+    let repair_unwedges_lock_queues = repair_cells.iter().all(|c| {
+        c.point.killed == vec![1]
+            && c.point.survivors_completed()
+            && c.point.blocked_kinds.is_empty()
+            && c.point.repairs.len() == 1
+            && c.point.pairs_completed + c.point.recovered_pairs == pairs
+            && c.point.time_to_repair_ns.is_some_and(|t| t > 0)
+            && c.point.drained.is_some()
+    });
     eprintln!(
         "acceptance: nonblocking_flat={nonblocking_flat} blocking_collapses={blocking_collapses} \
          figure_ordering={figure_ordering} figure_ordering_{PROCESSORS_HIGH}p={figure_ordering_high} \
@@ -405,7 +474,8 @@ fn main() {
          deq_blocking_collapses={deq_blocking_collapses} \
          deq_all_stalls_fired={deq_all_stalls_fired} \
          recovery_absorbs_residual={recovery_absorbs_residual} \
-         recovery_lock_based_flagged={recovery_lock_based_flagged}"
+         recovery_lock_based_flagged={recovery_lock_based_flagged} \
+         repair_unwedges_lock_queues={repair_unwedges_lock_queues}"
     );
 
     // --- JSON report. ---
@@ -493,6 +563,39 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    json.push_str("  \"repair\": [\n");
+    for (i, c) in repair_cells.iter().enumerate() {
+        let verdict = c
+            .point
+            .repairs
+            .first()
+            .map_or_else(|| "null".into(), |r| format!("\"{}\"", r.point));
+        let repaired_by = c
+            .point
+            .repairs
+            .first()
+            .map_or_else(|| "null".into(), |r| r.by.to_string());
+        let _ = writeln!(
+            json,
+            "    {{\"algorithm\": \"{}\", \"lock\": \"{}\", \"victim\": 1, \"designated_survivor\": 0, \"killed\": {:?}, \"blocked\": {:?}, \"repaired_by\": {}, \"verdict\": {}, \"time_to_repair_virtual_ns\": {}, \"pairs_completed\": {}, \"recovered_pairs\": {}, \"drained\": {}}}{}",
+            c.algorithm.label(),
+            c.kill_label,
+            c.point.killed,
+            c.point.blocked,
+            repaired_by,
+            verdict,
+            c.point
+                .time_to_repair_ns
+                .map_or_else(|| "null".into(), |t| t.to_string()),
+            c.point.pairs_completed,
+            c.point.recovered_pairs,
+            c.point
+                .drained
+                .map_or_else(|| "null".into(), |d| d.to_string()),
+            if i + 1 == repair_cells.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(
         json,
         "  \"death\": {{\"new_nonblocking\": {{\"killed\": {:?}, \"blocked\": {:?}, \"drained\": {}, \"pairs_completed\": {}, \"max_completion_virtual_ns\": {}}}, \"single_lock\": {{\"killed\": {:?}, \"blocked\": {:?}, \"pairs_completed\": {}}}}},",
@@ -507,7 +610,7 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"acceptance\": {{\"nonblocking_flat_bound\": {flat_bound}, \"nonblocking_flat\": {nonblocking_flat}, \"blocking_collapses\": {blocking_collapses}, \"figure_ordering\": {figure_ordering}, \"figure_ordering_high\": {figure_ordering_high}, \"all_stalls_fired\": {all_stalls_fired}, \"kill_nonblocking_survives\": {kill_nonblocking_survives}, \"kill_single_lock_blocks\": {kill_single_lock_blocks}, \"deq_survivable_flat\": {deq_survivable_flat}, \"deq_blocking_collapses\": {deq_blocking_collapses}, \"deq_all_stalls_fired\": {deq_all_stalls_fired}, \"recovery_absorbs_residual\": {recovery_absorbs_residual}, \"recovery_lock_based_flagged\": {recovery_lock_based_flagged}}}"
+        "  \"acceptance\": {{\"nonblocking_flat_bound\": {flat_bound}, \"nonblocking_flat\": {nonblocking_flat}, \"blocking_collapses\": {blocking_collapses}, \"figure_ordering\": {figure_ordering}, \"figure_ordering_high\": {figure_ordering_high}, \"all_stalls_fired\": {all_stalls_fired}, \"kill_nonblocking_survives\": {kill_nonblocking_survives}, \"kill_single_lock_blocks\": {kill_single_lock_blocks}, \"deq_survivable_flat\": {deq_survivable_flat}, \"deq_blocking_collapses\": {deq_blocking_collapses}, \"deq_all_stalls_fired\": {deq_all_stalls_fired}, \"recovery_absorbs_residual\": {recovery_absorbs_residual}, \"recovery_lock_based_flagged\": {recovery_lock_based_flagged}, \"repair_unwedges_lock_queues\": {repair_unwedges_lock_queues}}}"
     );
     json.push_str("}\n");
 

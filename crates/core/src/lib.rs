@@ -71,6 +71,7 @@
 
 mod epoch_queue;
 mod ms_queue;
+mod repairable_two_lock;
 mod seg_queue;
 mod sharded;
 pub mod spsc;
@@ -82,6 +83,7 @@ mod word_two_lock;
 
 pub use epoch_queue::EpochMsQueue;
 pub use ms_queue::MsQueue;
+pub use repairable_two_lock::RepairableTwoLockQueue;
 pub use seg_queue::{SegConfig, SegQueue, SegStats};
 pub use sharded::{ShardedQueue, WordShardedQueue, DEFAULT_SHARDS};
 pub use spsc::channel as spsc_channel;

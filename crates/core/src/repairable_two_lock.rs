@@ -1,0 +1,327 @@
+//! The crash-survivable variant of the Figure 2 two-lock queue
+//! (DESIGN.md §13).
+//!
+//! Both locks become [`RevocableLock`]s and each critical section
+//! publishes an intent cell (`node + 1` / `old_dummy + 1` while the
+//! protected update may be torn, `0` otherwise). A waiter that revokes a
+//! lock from a dead holder reads the matching intent and repairs the end
+//! it guards: the tail end completes or discards the half-inserted node,
+//! the head end completes or rolls back the half-finished dequeue — then
+//! stamps the outcome via [`Platform::mark_repaired`]. Because enqueuers
+//! never touch `Head` and dequeuers never touch `Tail`, each repair
+//! routine only ever inspects its own end, exactly like the operations
+//! themselves.
+
+use std::sync::Arc;
+
+use msq_arena::{MemBudget, NodeArena};
+use msq_platform::{
+    AtomicWord, BackoffConfig, ConcurrentWordQueue, Platform, QueueFull, NULL_INDEX,
+};
+use msq_sync::{Acquired, RevocableLock};
+
+/// The Michael–Scott two-lock queue under revocable locks, with
+/// intent-cell repair: the crash-survivable counterpart of
+/// [`crate::WordTwoLockQueue`].
+///
+/// # Example
+///
+/// ```
+/// use msq_core::RepairableTwoLockQueue;
+/// use msq_platform::{ConcurrentWordQueue, NativePlatform};
+///
+/// let queue = RepairableTwoLockQueue::with_capacity(&NativePlatform::new(), 8);
+/// queue.enqueue(1).unwrap();
+/// assert_eq!(queue.dequeue(), Some(1));
+/// ```
+pub struct RepairableTwoLockQueue<P: Platform> {
+    head: P::Cell,
+    tail: P::Cell,
+    h_lock: RevocableLock<P>,
+    t_lock: RevocableLock<P>,
+    /// `node + 1` while an enqueue holds `t_lock` and its update may be
+    /// torn; `0` otherwise. Only the `t_lock` holder writes it.
+    enq_intent: P::Cell,
+    /// `old_dummy + 1` while a dequeue holds `h_lock` past its emptiness
+    /// check; `0` otherwise. Only the `h_lock` holder writes it.
+    deq_intent: P::Cell,
+    arena: NodeArena<P>,
+    platform: P,
+}
+
+impl<P: Platform> RepairableTwoLockQueue<P> {
+    /// Creates a queue able to hold `capacity` values simultaneously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity + 1` does not fit a tagged index.
+    pub fn with_capacity(platform: &P, capacity: u32) -> Self {
+        Self::with_capacity_and_backoff(platform, capacity, BackoffConfig::DEFAULT)
+    }
+
+    /// As [`RepairableTwoLockQueue::with_capacity`] with explicit lock
+    /// backoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity + 1` does not fit a tagged index.
+    pub fn with_capacity_and_backoff(platform: &P, capacity: u32, backoff: BackoffConfig) -> Self {
+        let arena = NodeArena::new(
+            platform,
+            capacity.checked_add(1).expect("capacity overflow"),
+        );
+        Self::from_arena(platform, arena, backoff)
+    }
+
+    /// As [`RepairableTwoLockQueue::with_capacity`], metering the node
+    /// pool against `budget` for the queue's lifetime. A node discarded
+    /// by repair goes back to the arena free list, so no reservation is
+    /// ever leaked by a repaired death.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity + 1` does not fit a tagged index.
+    pub fn with_capacity_and_budget(
+        platform: &P,
+        capacity: u32,
+        budget: Arc<MemBudget<P>>,
+    ) -> Self {
+        let arena = NodeArena::with_budget(
+            platform,
+            capacity.checked_add(1).expect("capacity overflow"),
+            budget,
+        );
+        Self::from_arena(platform, arena, BackoffConfig::DEFAULT)
+    }
+
+    fn from_arena(platform: &P, arena: NodeArena<P>, backoff: BackoffConfig) -> Self {
+        let dummy = arena.alloc().expect("fresh arena");
+        arena.set_next(dummy, NULL_INDEX);
+        // Touch the death board during untimed setup so its cell id (and
+        // therefore every trace) is fixed before the run starts.
+        let _ = platform.dead_peers();
+        RepairableTwoLockQueue {
+            head: platform.alloc_cell(u64::from(dummy)),
+            tail: platform.alloc_cell(u64::from(dummy)),
+            h_lock: RevocableLock::with_backoff(platform, backoff),
+            t_lock: RevocableLock::with_backoff(platform, backoff),
+            enq_intent: platform.alloc_cell(0),
+            deq_intent: platform.alloc_cell(0),
+            arena,
+            platform: platform.clone(),
+        }
+    }
+
+    /// Maximum number of values the queue can hold.
+    pub fn capacity(&self) -> u32 {
+        self.arena.capacity() - 1
+    }
+
+    /// Repairs the tail end after revoking `t_lock` from dead `victim`:
+    /// completes the enqueue if the link (or the tail swing) already
+    /// landed, discards the node otherwise.
+    fn repair_tail(&self, victim: usize) {
+        let intent = self.enq_intent.load();
+        let outcome = if intent != 0 {
+            let node = (intent - 1) as u32;
+            self.enq_intent.store(0);
+            let tail = self.tail.load() as u32;
+            if tail == node {
+                "two-lock:repair:enq-complete"
+            } else {
+                let link = self.arena.next(tail);
+                if !link.is_null() && link.index() == node {
+                    // Linked but Tail not swung: finish the enqueue.
+                    self.tail.store(u64::from(node));
+                    "two-lock:repair:enq-complete"
+                } else {
+                    // Never linked: the enqueue did not happen.
+                    self.arena.free(node);
+                    "two-lock:repair:enq-discard"
+                }
+            }
+        } else {
+            "two-lock:repair:intact"
+        };
+        self.platform.mark_repaired(victim, outcome);
+    }
+
+    /// Repairs the head end after revoking `h_lock` from dead `victim`:
+    /// frees the stranded dummy if the head already swung, rolls back
+    /// otherwise.
+    fn repair_head(&self, victim: usize) {
+        let intent = self.deq_intent.load();
+        let outcome = if intent != 0 {
+            let node = (intent - 1) as u32;
+            self.deq_intent.store(0);
+            if self.head.load() as u32 == node {
+                // Head never swung: the dequeue did not happen.
+                "two-lock:repair:deq-rollback"
+            } else {
+                // Head swung but the victim died before recycling the
+                // old dummy.
+                self.arena.free(node);
+                "two-lock:repair:deq-complete"
+            }
+        } else {
+            "two-lock:repair:intact"
+        };
+        self.platform.mark_repaired(victim, outcome);
+    }
+}
+
+impl<P: Platform> ConcurrentWordQueue for RepairableTwoLockQueue<P> {
+    fn enqueue(&self, value: u64) -> Result<(), QueueFull> {
+        // Allocate and fill the node before taking the lock, as in Figure 2.
+        let Some(node) = self.arena.alloc() else {
+            return Err(QueueFull(value));
+        };
+        self.arena.set_value(node, value);
+        self.arena.set_next(node, NULL_INDEX);
+        if let Acquired::Repairing { victim } = self.t_lock.lock(&self.platform) {
+            self.repair_tail(victim);
+        }
+        self.enq_intent.store(u64::from(node) + 1);
+        // The same kill window as the plain queue — but a death here
+        // leaves a repairable intent record instead of a wedged T_lock.
+        self.platform.fault_point("two-lock:enq:locked");
+        let tail = self.tail.load() as u32;
+        self.arena.set_next(tail, node);
+        self.tail.store(u64::from(node));
+        self.enq_intent.store(0);
+        self.t_lock.unlock(&self.platform);
+        Ok(())
+    }
+
+    fn dequeue(&self) -> Option<u64> {
+        if let Acquired::Repairing { victim } = self.h_lock.lock(&self.platform) {
+            self.repair_head(victim);
+        }
+        let node = self.head.load() as u32;
+        let new_head = self.arena.next(node);
+        if new_head.is_null() {
+            self.h_lock.unlock(&self.platform);
+            return None;
+        }
+        self.deq_intent.store(u64::from(node) + 1);
+        self.platform.fault_point("two-lock:deq:locked");
+        let value = self.arena.value(new_head.index());
+        self.head.store(u64::from(new_head.index()));
+        self.deq_intent.store(0);
+        self.h_lock.unlock(&self.platform);
+        // Free the old dummy outside the critical section, as in Figure 2.
+        self.arena.free(node);
+        Some(value)
+    }
+
+    fn name(&self) -> &'static str {
+        "ms-two-lock-repair"
+    }
+
+    fn is_nonblocking(&self) -> bool {
+        false
+    }
+}
+
+impl<P: Platform> std::fmt::Debug for RepairableTwoLockQueue<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RepairableTwoLockQueue(capacity={})", self.capacity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msq_platform::NativePlatform;
+    use std::sync::Arc;
+
+    fn queue(capacity: u32) -> RepairableTwoLockQueue<NativePlatform> {
+        RepairableTwoLockQueue::with_capacity(&NativePlatform::new(), capacity)
+    }
+
+    #[test]
+    fn fifo_capacity_and_identity() {
+        let q = queue(2);
+        q.enqueue(1).unwrap();
+        q.enqueue(2).unwrap();
+        assert_eq!(q.enqueue(3), Err(QueueFull(3)));
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), None);
+        assert_eq!(q.name(), "ms-two-lock-repair");
+        assert!(!q.is_nonblocking());
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        let q = Arc::new(queue(256));
+        let sum = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let got = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let total = 4 * 2_000_u64;
+        let mut handles = Vec::new();
+        for t in 0..4_u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000_u64 {
+                    let v = t * 2_000 + i + 1;
+                    while q.enqueue(v).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            let sum = Arc::clone(&sum);
+            let got = Arc::clone(&got);
+            handles.push(std::thread::spawn(move || {
+                while got.load(std::sync::atomic::Ordering::SeqCst) < total {
+                    if let Some(v) = q.dequeue() {
+                        sum.fetch_add(v, std::sync::atomic::Ordering::SeqCst);
+                        got.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            sum.load(std::sync::atomic::Ordering::SeqCst),
+            (1..=total).sum::<u64>()
+        );
+    }
+
+    /// A dequeuer killed while holding `H_lock` is dispossessed by the
+    /// next dequeuer, which repairs the head end and proceeds — the
+    /// scenario the plain two-lock queue can only watchdog.
+    #[test]
+    fn killed_dequeuer_holding_h_lock_is_repaired() {
+        use msq_sim::{FaultPlan, SimConfig, Simulation};
+        let sim = Simulation::with_faults(
+            SimConfig {
+                processors: 3,
+                watchdog_ns: 400_000_000,
+                ..SimConfig::default()
+            },
+            FaultPlan::new().kill_at_label(0, "two-lock:deq:locked", 1),
+        );
+        let platform = sim.platform();
+        let q = Arc::new(RepairableTwoLockQueue::with_capacity(&platform, 64));
+        let report = sim.run({
+            let q = Arc::clone(&q);
+            move |info| {
+                for i in 0..20u64 {
+                    q.enqueue((info.pid as u64) << 32 | i).unwrap();
+                    q.dequeue().expect("a value is always available");
+                }
+            }
+        });
+        assert_eq!(report.killed, vec![0]);
+        assert!(report.blocked.is_empty(), "repair must beat the watchdog");
+        assert_eq!(report.repairs.len(), 1);
+        assert_eq!(report.repairs[0].victim, 0);
+        assert!(report.repairs[0].point.starts_with("two-lock:repair:deq-"));
+        assert!(report.repairs[0].time_to_repair_ns() > 0);
+    }
+}

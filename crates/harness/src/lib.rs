@@ -30,5 +30,5 @@ pub use figures::{figure_spec, run_figure, FigureData, FigureRow, FigureSpec};
 pub use registry::Algorithm;
 pub use workload::{
     run_native, run_native_batched, run_simulated, run_simulated_batched, run_simulated_faulted,
-    run_simulated_recovered, FaultedPoint, MeasuredPoint, WorkloadConfig,
+    run_simulated_recovered, run_simulated_repaired, FaultedPoint, MeasuredPoint, WorkloadConfig,
 };

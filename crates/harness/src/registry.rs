@@ -4,8 +4,13 @@
 use std::sync::Arc;
 
 use msq_arena::MemBudget;
-use msq_baselines::{McQueue, PljQueue, SingleLockQueue, ValoisQueue};
-use msq_core::{WordMsQueue, WordSegQueue, WordShardedQueue, WordTwoLockQueue, DEFAULT_SHARDS};
+use msq_baselines::{
+    McQueue, PljQueue, RepairableMcQueue, RepairableSingleLockQueue, SingleLockQueue, ValoisQueue,
+};
+use msq_core::{
+    RepairableTwoLockQueue, WordMsQueue, WordSegQueue, WordShardedQueue, WordTwoLockQueue,
+    DEFAULT_SHARDS,
+};
 use msq_platform::{ConcurrentWordQueue, Platform};
 
 /// The six algorithms of Figures 3–5, in the paper's legend order, plus
@@ -160,9 +165,66 @@ impl Algorithm {
         !matches!(self, Algorithm::SingleLock | Algorithm::NewTwoLock)
     }
 
+    /// Whether the algorithm has a crash-survivable *repairable* variant
+    /// (DESIGN.md §13): the blocking queues whose critical windows can
+    /// wedge survivors get one; the non-blocking queues do not need one —
+    /// their helping rules already make every death survivable.
+    pub fn has_repairable_variant(self) -> bool {
+        matches!(
+            self,
+            Algorithm::SingleLock | Algorithm::NewTwoLock | Algorithm::MellorCrummey
+        )
+    }
+
     /// Constructs the queue over any platform with the given capacity.
     pub fn build<P: Platform>(self, platform: &P, capacity: u32) -> Arc<dyn ConcurrentWordQueue> {
         self.build_with_budget(platform, capacity, None)
+    }
+
+    /// As [`Algorithm::build`], but constructing the crash-survivable
+    /// repairable variant for the algorithms that have one
+    /// ([`Algorithm::has_repairable_variant`]): revocable locks plus
+    /// intent-cell repair for the lock-based queues, announce-cell repair
+    /// for Mellor-Crummey. Algorithms without a repairable variant build
+    /// their ordinary (already death-survivable) queue, so a
+    /// repair-enabled sweep can still cover the full legend.
+    pub fn build_repairable<P: Platform>(
+        self,
+        platform: &P,
+        capacity: u32,
+    ) -> Arc<dyn ConcurrentWordQueue> {
+        self.build_repairable_with_budget(platform, capacity, None)
+    }
+
+    /// As [`Algorithm::build_repairable`], optionally metering memory
+    /// residency against a shared [`MemBudget`].
+    pub fn build_repairable_with_budget<P: Platform>(
+        self,
+        platform: &P,
+        capacity: u32,
+        budget: Option<Arc<MemBudget<P>>>,
+    ) -> Arc<dyn ConcurrentWordQueue> {
+        match (self, budget) {
+            (Algorithm::SingleLock, Some(budget)) => Arc::new(
+                RepairableSingleLockQueue::with_capacity_and_budget(platform, capacity, budget),
+            ),
+            (Algorithm::SingleLock, None) => {
+                Arc::new(RepairableSingleLockQueue::with_capacity(platform, capacity))
+            }
+            (Algorithm::NewTwoLock, Some(budget)) => Arc::new(
+                RepairableTwoLockQueue::with_capacity_and_budget(platform, capacity, budget),
+            ),
+            (Algorithm::NewTwoLock, None) => {
+                Arc::new(RepairableTwoLockQueue::with_capacity(platform, capacity))
+            }
+            (Algorithm::MellorCrummey, Some(budget)) => Arc::new(
+                RepairableMcQueue::with_capacity_and_budget(platform, capacity, budget),
+            ),
+            (Algorithm::MellorCrummey, None) => {
+                Arc::new(RepairableMcQueue::with_capacity(platform, capacity))
+            }
+            (other, budget) => other.build_with_budget(platform, capacity, budget),
+        }
     }
 
     /// As [`Algorithm::build`], optionally metering memory residency
@@ -241,6 +303,22 @@ mod tests {
             q.enqueue(42).unwrap();
             assert_eq!(q.dequeue(), Some(42), "{alg} round trip");
             assert_eq!(q.dequeue(), None, "{alg} empty");
+        }
+    }
+
+    #[test]
+    fn repairable_builds_cover_the_legend() {
+        let platform = NativePlatform::new();
+        for alg in Algorithm::WITH_EXTENSIONS {
+            let q = alg.build_repairable(&platform, 16);
+            q.enqueue(7).unwrap();
+            assert_eq!(q.dequeue(), Some(7), "{alg} repairable round trip");
+            assert_eq!(
+                q.name().ends_with("-repair"),
+                alg.has_repairable_variant(),
+                "{alg} built {}",
+                q.name()
+            );
         }
     }
 

@@ -5,7 +5,9 @@ use std::time::Instant;
 
 use msq_arena::MemBudget;
 use msq_platform::{AtomicWord, ConcurrentWordQueue, NativePlatform, Platform};
-use msq_sim::{FaultPlan, RecoveryPolicy, RecoveryReport, SimConfig, Simulation};
+use msq_sim::{
+    BlockedKind, FaultPlan, RecoveryPolicy, RecoveryReport, RepairReport, SimConfig, Simulation,
+};
 
 use crate::registry::Algorithm;
 
@@ -231,6 +233,12 @@ pub struct FaultedPoint {
     pub killed: Vec<usize>,
     /// Processes the virtual-time watchdog judged permanently blocked.
     pub blocked: Vec<usize>,
+    /// Why each `blocked` process was stuck (parallel to `blocked`):
+    /// [`BlockedKind::DeadHolder`] when a killed process existed — the
+    /// repairable wedge the §13 revocation protocol targets — versus
+    /// [`BlockedKind::LiveContention`] (a watchdog misfire or genuine
+    /// livelock among live processes).
+    pub blocked_kinds: Vec<BlockedKind>,
     /// Stalls injected by the plan.
     pub stalls_injected: u64,
     /// Preemptions injected by the plan.
@@ -251,6 +259,14 @@ pub struct FaultedPoint {
     pub time_to_recover_ns: Option<u64>,
     /// Every completed recovery handoff, in completion order.
     pub recoveries: Vec<RecoveryReport>,
+    /// Every lock revocation / invariant repair (§13), in completion
+    /// order: who died, who repaired, and the repair-outcome label.
+    /// Empty unless the run used [`run_simulated_repaired`] (or a queue
+    /// built with [`Algorithm::build_repairable`]).
+    pub repairs: Vec<RepairReport>,
+    /// Slowest virtual time from a kill to the matching repair landing;
+    /// `None` when nothing was repaired.
+    pub time_to_repair_ns: Option<u64>,
 }
 
 impl FaultedPoint {
@@ -346,6 +362,7 @@ pub fn run_simulated_faulted(
         pairs_completed,
         killed: report.killed.clone(),
         blocked: report.blocked.clone(),
+        blocked_kinds: report.blocked_kinds.clone(),
         stalls_injected: report.stalls_injected,
         preempts_injected: report.preempts_injected,
         max_completion_ns: report.max_completion_ns(),
@@ -353,6 +370,8 @@ pub fn run_simulated_faulted(
         recovered_pairs: 0,
         time_to_recover_ns: report.time_to_recover_ns(),
         recoveries: report.recoveries.clone(),
+        repairs: report.repairs.clone(),
+        time_to_repair_ns: report.time_to_repair_ns(),
     }
 }
 
@@ -381,13 +400,53 @@ pub fn run_simulated_recovered(
     plan: FaultPlan,
     policy: RecoveryPolicy,
 ) -> FaultedPoint {
+    run_simulated_with_policy(algorithm, sim_config, workload, plan, policy, false)
+}
+
+/// Runs the recovered workload of [`run_simulated_recovered`] on the
+/// algorithm's crash-survivable *repairable* variant
+/// ([`Algorithm::build_repairable`]): revocable locks plus intent-cell
+/// repair for the lock-based queues, announce-cell repair for
+/// Mellor-Crummey, the unchanged (already survivable) queue otherwise.
+///
+/// This flips the recovered run's expected asymmetry: a lock-based queue
+/// whose holder dies mid-critical-section no longer wedges until the
+/// watchdog fires — the next waiter revokes the dead holder's lock,
+/// repairs the torn invariant, and the designated survivor absorbs the
+/// victim's residual share exactly as on a non-blocking queue. Each
+/// repair lands in [`FaultedPoint::repairs`] with its outcome label and
+/// a measurable [`FaultedPoint::time_to_repair_ns`]. The post-run drain
+/// is always attempted: a repaired queue is approachable even after a
+/// kill (the drain itself revokes any still-held dead lock).
+pub fn run_simulated_repaired(
+    algorithm: Algorithm,
+    sim_config: SimConfig,
+    workload: &WorkloadConfig,
+    plan: FaultPlan,
+    policy: RecoveryPolicy,
+) -> FaultedPoint {
+    run_simulated_with_policy(algorithm, sim_config, workload, plan, policy, true)
+}
+
+fn run_simulated_with_policy(
+    algorithm: Algorithm,
+    sim_config: SimConfig,
+    workload: &WorkloadConfig,
+    plan: FaultPlan,
+    policy: RecoveryPolicy,
+    repairable: bool,
+) -> FaultedPoint {
     let has_kills = plan.has_kills();
     let sim = Simulation::with_faults(sim_config, plan);
     let platform = sim.platform();
     let budget = workload
         .mem_budget
         .map(|limit| Arc::new(MemBudget::new(&platform, limit)));
-    let queue = algorithm.build_with_budget(&platform, workload.capacity, budget.clone());
+    let queue = if repairable {
+        algorithm.build_repairable_with_budget(&platform, workload.capacity, budget.clone())
+    } else {
+        algorithm.build_with_budget(&platform, workload.capacity, budget.clone())
+    };
     let n = sim.num_processes();
     assert!(policy.survivor < n, "designated survivor must be a pid");
     // Setup is untimed: allocate the progress cells and the death board
@@ -471,7 +530,9 @@ pub fn run_simulated_recovered(
             }
         }
     });
-    let drain_is_safe = !has_kills || algorithm.is_nonblocking();
+    // A repaired queue is always approachable: the drain itself revokes
+    // any still-held dead lock and completes the repair first.
+    let drain_is_safe = repairable || !has_kills || algorithm.is_nonblocking();
     let drained = if drain_is_safe && report.blocked.is_empty() {
         let mut count = 0u64;
         while queue.dequeue().is_some() {
@@ -503,6 +564,7 @@ pub fn run_simulated_recovered(
         pairs_completed,
         killed: report.killed.clone(),
         blocked: report.blocked.clone(),
+        blocked_kinds: report.blocked_kinds.clone(),
         stalls_injected: report.stalls_injected,
         preempts_injected: report.preempts_injected,
         max_completion_ns: report.max_completion_ns(),
@@ -510,6 +572,8 @@ pub fn run_simulated_recovered(
         recovered_pairs: recovered_count.load(std::sync::atomic::Ordering::Relaxed),
         time_to_recover_ns: report.time_to_recover_ns(),
         recoveries: report.recoveries.clone(),
+        repairs: report.repairs.clone(),
+        time_to_repair_ns: report.time_to_repair_ns(),
     }
 }
 
@@ -990,6 +1054,66 @@ mod tests {
         assert_eq!(point.time_to_recover_ns, None);
         assert!(point.recoveries.is_empty());
         assert_eq!(point.drained, None);
+    }
+
+    #[test]
+    fn repaired_run_on_a_lock_queue_completes_with_conservation() {
+        for (alg, label) in [
+            (Algorithm::SingleLock, "single-lock:deq:locked"),
+            (Algorithm::NewTwoLock, "two-lock:deq:locked"),
+        ] {
+            let point = run_simulated_repaired(
+                alg,
+                SimConfig {
+                    processors: 3,
+                    watchdog_ns: 400_000_000,
+                    ..SimConfig::default()
+                },
+                &tiny(),
+                FaultPlan::new().kill_at_label(1, label, 0),
+                RecoveryPolicy::designated(0),
+            );
+            assert_eq!(point.killed, vec![1], "{alg}");
+            assert!(
+                point.survivors_completed(),
+                "{alg}: repair must beat the watchdog, blocked {:?}",
+                point.blocked
+            );
+            assert_eq!(point.repairs.len(), 1, "{alg}: {:?}", point.repairs);
+            assert_eq!(point.repairs[0].victim, 1, "{alg}");
+            let ttr = point.time_to_repair_ns.expect("one repair landed");
+            assert!(ttr > 0, "{alg}: revocation costs virtual time");
+            assert_eq!(
+                point.pairs_completed + point.recovered_pairs,
+                300,
+                "{alg}: conservation"
+            );
+            let drained = point.drained.expect("a repaired queue is drainable");
+            assert!(drained <= 1, "{alg}: at most the rolled-back value remains");
+        }
+    }
+
+    #[test]
+    fn repaired_runs_with_empty_plans_are_clean_and_deterministic() {
+        let run = || {
+            run_simulated_repaired(
+                Algorithm::NewTwoLock,
+                SimConfig {
+                    processors: 2,
+                    ..SimConfig::default()
+                },
+                &tiny(),
+                FaultPlan::new(),
+                RecoveryPolicy::designated(0),
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.point.elapsed_ns, b.point.elapsed_ns);
+        assert_eq!(a.point.cas_failures, b.point.cas_failures);
+        assert!(a.repairs.is_empty(), "nothing to repair without a fault");
+        assert!(a.recoveries.is_empty());
+        assert_eq!(a.pairs_completed, 300);
+        assert_eq!(a.drained, Some(0));
     }
 
     #[test]

@@ -131,6 +131,31 @@ pub trait Platform: Clone + Send + Sync + Sized + 'static {
     fn fault_point(&self, label: &'static str) {
         let _ = label;
     }
+
+    /// A bitmask of peer execution contexts known to be *dead* (bit `p` set
+    /// means context `p` died and will never run again).
+    ///
+    /// Revocable locks consult this before seizing a lock from an
+    /// unresponsive holder: revocation is only sound when the holder is
+    /// provably dead, never merely slow. Natively there is no death notice
+    /// — threads either run or the whole process is gone — so the default
+    /// reports *nobody dead*, which makes revocation unreachable and the
+    /// revocable lock behave exactly like a plain spin lock. The simulator
+    /// overrides this with a (charged) read of its death board.
+    fn dead_peers(&self) -> u64 {
+        0
+    }
+
+    /// Records that the caller revoked a dead peer's lock and repaired the
+    /// structure it protected, restoring the invariant torn at fault point
+    /// `point`.
+    ///
+    /// Mirrors the recovery handoff (`mark_recovered`): purely an
+    /// observability stamp, free of shared-memory traffic. The default is a
+    /// no-op; the simulator stamps a `RepairReport` into its `SimReport`.
+    fn mark_repaired(&self, victim: usize, point: &'static str) {
+        let _ = (victim, point);
+    }
 }
 
 fn affinity_hint_default() -> usize {

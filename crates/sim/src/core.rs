@@ -151,6 +151,8 @@ pub(crate) struct Core {
     pub(crate) killed: Vec<usize>,
     /// Pids retired by the virtual-time watchdog (permanently blocked).
     pub(crate) blocked: Vec<usize>,
+    /// Why each watchdog-retired pid was blocked (parallel to `blocked`).
+    pub(crate) blocked_kinds: Vec<crate::report::BlockedKind>,
     pub(crate) stalls_injected: u64,
     pub(crate) preempts_injected: u64,
     /// The death-notice cell, lazily allocated by the first
@@ -160,6 +162,8 @@ pub(crate) struct Core {
     pub(crate) kill_board: Option<u32>,
     /// Completed recovery handoffs, in completion order.
     pub(crate) recoveries: Vec<crate::report::RecoveryReport>,
+    /// Completed lock revocation + invariant repairs, in completion order.
+    pub(crate) repairs: Vec<crate::report::RepairReport>,
 }
 
 /// Applies `op` to one cell on behalf of one process on processor `cpu`,
@@ -313,10 +317,12 @@ impl Core {
             fault_fired: vec![false; fault_slots],
             killed: Vec::new(),
             blocked: Vec::new(),
+            blocked_kinds: Vec::new(),
             stalls_injected: 0,
             preempts_injected: 0,
             kill_board: None,
             recoveries: Vec::new(),
+            repairs: Vec::new(),
         }
     }
 
@@ -357,6 +363,21 @@ impl Core {
             by,
             killed_at_ns: self.processes[victim].finished_at_ns,
             recovered_at_ns: self.processors[cpu].clock_ns,
+        });
+    }
+
+    /// Records that `by` revoked dead process `victim`'s lock (or seized
+    /// its torn critical window) and restored the protected invariant,
+    /// stamping the repair with the victim's death time, `by`'s current
+    /// virtual time, and the repair-outcome label `point`.
+    pub(crate) fn note_repair(&mut self, victim: usize, by: usize, point: &'static str) {
+        let cpu = self.processes[by].cpu;
+        self.repairs.push(crate::report::RepairReport {
+            victim,
+            by,
+            point,
+            killed_at_ns: self.processes[victim].finished_at_ns,
+            repaired_at_ns: self.processors[cpu].clock_ns,
         });
     }
 
@@ -480,6 +501,22 @@ impl Core {
         }
     }
 
+    /// Records `pid` as watchdog-retired, classifying the failure mode:
+    /// a starved process with a dead peer was (to the watchdog's best
+    /// knowledge) waiting on the dead holder's resource — the repairable
+    /// case — while starvation with every peer alive is live contention.
+    /// Both backends classify at the same commit point with the same
+    /// rule, so the verdict is deterministic.
+    pub(crate) fn note_blocked(&mut self, pid: usize) {
+        let kind = if self.killed.is_empty() {
+            crate::report::BlockedKind::LiveContention
+        } else {
+            crate::report::BlockedKind::DeadHolder
+        };
+        self.blocked.push(pid);
+        self.blocked_kinds.push(kind);
+    }
+
     pub(crate) fn remove_process(&mut self, pid: usize) {
         let cpu = self.processes[pid].cpu;
         self.processes[pid].finished = true;
@@ -567,9 +604,11 @@ impl Core {
             trace: self.trace.clone(),
             killed: self.killed.clone(),
             blocked: self.blocked.clone(),
+            blocked_kinds: self.blocked_kinds.clone(),
             stalls_injected: self.stalls_injected,
             preempts_injected: self.preempts_injected,
             recoveries: self.recoveries.clone(),
+            repairs: self.repairs.clone(),
         }
     }
 }
@@ -626,6 +665,18 @@ impl SimShared {
             return;
         }
         core.note_recovery(victim, pid);
+    }
+
+    /// Records, on behalf of `pid`, that dead process `victim`'s lock was
+    /// revoked and the torn invariant repaired (outcome label `point`).
+    /// Free, exactly like [`SimShared::mark_recovered`]: the repair's
+    /// memory traffic was already charged op by op.
+    pub fn mark_repaired(&self, pid: usize, victim: usize, point: &'static str) {
+        let mut core = self.wait_for_token(pid);
+        if core.processes[pid].finished {
+            return;
+        }
+        core.note_repair(victim, pid, point);
     }
 
     /// Direct, cost-free access for the coordinator thread (setup before
@@ -733,7 +784,7 @@ impl SimShared {
         if watchdog > 0 {
             let cpu = core.processes[pid].cpu;
             if core.processors[cpu].clock_ns >= watchdog {
-                core.blocked.push(pid);
+                core.note_blocked(pid);
                 self.kill_locked(core, pid);
             }
         }

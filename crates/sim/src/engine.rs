@@ -98,6 +98,15 @@ impl EngineShared {
         }
     }
 
+    /// Records that `pid` revoked dead process `victim`'s lock and
+    /// repaired the torn invariant (outcome label `point`).
+    pub fn mark_repaired(&self, pid: usize, victim: usize, point: &'static str) {
+        match self {
+            EngineShared::Token(s) => s.mark_repaired(pid, victim, point),
+            EngineShared::Frames(s) => s.mark_repaired(pid, victim, point),
+        }
+    }
+
     pub fn finish(&self, pid: usize) {
         match self {
             EngineShared::Token(s) => s.finish(pid),

@@ -53,6 +53,15 @@ enum Entry {
     /// A recovery record: the parking process absorbed the remaining
     /// share of the named killed victim. Zero-cost, like a label.
     Recovered(usize),
+    /// A repair record: the parking process revoked the named dead
+    /// victim's lock and restored the invariant (outcome label carried
+    /// alongside). Zero-cost, like a label.
+    Repaired {
+        /// The dead process whose torn state was repaired.
+        victim: usize,
+        /// The repair-outcome label.
+        point: &'static str,
+    },
     /// Process retirement.
     Finish,
 }
@@ -167,7 +176,7 @@ impl RoundWork {
                     charge_parts(&self.cfg, processor, item.pid, nanos);
                     slot.result = Some(EntryResult::Done);
                 }
-                Entry::Label(_) | Entry::Recovered(_) | Entry::Finish => {
+                Entry::Label(_) | Entry::Recovered(_) | Entry::Repaired { .. } | Entry::Finish => {
                     unreachable!("zero-cost entries never enter a frame round")
                 }
             }
@@ -432,6 +441,22 @@ impl FrameShared {
         }
     }
 
+    /// Records, on behalf of `pid`, that dead process `victim`'s lock was
+    /// revoked and the torn invariant repaired (outcome label `point`).
+    /// Zero-cost and token-keeping, exactly like
+    /// [`FrameShared::mark_recovered`].
+    pub fn mark_repaired(&self, pid: usize, victim: usize, point: &'static str) {
+        let guard = self.state.lock().expect("sim lock");
+        if guard.core.processes[pid].finished {
+            return;
+        }
+        match self.park_locked(guard, pid, Entry::Repaired { victim, point }) {
+            EntryResult::Done => {}
+            EntryResult::Killed => std::panic::resume_unwind(Box::new(ProcessKilled)),
+            EntryResult::Value(_) => unreachable!("repair records produce no value"),
+        }
+    }
+
     pub fn finish(&self, pid: usize) {
         let guard = self.state.lock().expect("sim lock");
         if guard.core.processes[pid].finished {
@@ -672,7 +697,7 @@ impl FrameShared {
                     if watchdog > 0 {
                         let cpu = fc.core.processes[pid].cpu;
                         if fc.core.processors[cpu].clock_ns >= watchdog {
-                            fc.core.blocked.push(pid);
+                            fc.core.note_blocked(pid);
                             return self.kill_parked(fc, pid);
                         }
                     }
@@ -736,6 +761,14 @@ impl FrameShared {
                 // `mark_recovered`: the catch-up work was already
                 // charged op by op.
                 fc.core.note_recovery(victim, pid);
+                self.post(fc, pid, EntryResult::Done);
+                Commit::Sticky
+            }
+            Entry::Repaired { victim, point } => {
+                // Free and token-keeping, exactly like the serial
+                // `mark_repaired`: the repair's memory traffic was
+                // already charged op by op.
+                fc.core.note_repair(victim, pid, point);
                 self.post(fc, pid, EntryResult::Done);
                 Commit::Sticky
             }

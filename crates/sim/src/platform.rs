@@ -153,6 +153,31 @@ impl Platform for SimPlatform {
             self.shared.fault_point(pid, label);
         }
     }
+
+    fn dead_peers(&self) -> u64 {
+        // A charged load of the death board: consulting the board is an
+        // ordinary shared-memory read, priced like any survivor poll.
+        // The board cell is allocated lazily on first use; structures
+        // that call this mid-run should touch `death_board()` during
+        // untimed setup so cell ids (and traces) stay schedule-stable.
+        // Outside a simulated process the read is direct and free.
+        let cell = self.shared.death_board();
+        match current_pid() {
+            Some(pid) => self
+                .shared
+                .mem_op(pid, cell, MemOp::Load)
+                .expect("load is infallible"),
+            None => self.shared.peek(cell),
+        }
+    }
+
+    fn mark_repaired(&self, victim: usize, point: &'static str) {
+        // Free, like mark_recovered: the repair's memory traffic was
+        // already charged op by op. No-op outside a simulated process.
+        if let Some(pid) = current_pid() {
+            self.shared.mark_repaired(pid, victim, point);
+        }
+    }
 }
 
 /// A simulated shared-memory word.

@@ -80,6 +80,50 @@ impl RecoveryReport {
     }
 }
 
+/// One completed lock revocation + invariant repair: a waiter found the
+/// lock (or critical window) held by a dead process, seized it, and
+/// restored the structure's invariant (see
+/// [`crate::SimPlatform::mark_repaired`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepairReport {
+    /// The dead process whose torn state was repaired.
+    pub victim: usize,
+    /// The survivor that performed the repair.
+    pub by: usize,
+    /// What the repair decided, as a static label — e.g.
+    /// `"single-lock:repair:enq-completed"` when the victim's half-done
+    /// enqueue was finished on its behalf, or `...:enq-discarded` when it
+    /// was rolled back.
+    pub point: &'static str,
+    /// The victim's processor clock at the kill.
+    pub killed_at_ns: u64,
+    /// The repairer's processor clock when the invariant was restored.
+    pub repaired_at_ns: u64,
+}
+
+impl RepairReport {
+    /// Virtual time from the kill to the invariant being restored — the
+    /// run's **time-to-repair** for this victim.
+    pub fn time_to_repair_ns(&self) -> u64 {
+        self.repaired_at_ns.saturating_sub(self.killed_at_ns)
+    }
+}
+
+/// Why the virtual-time watchdog judged a process permanently blocked
+/// (parallel to [`SimReport::blocked`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockedKind {
+    /// The process starved while at least one peer lay dead — the
+    /// signature of waiting on a resource whose holder was killed. This
+    /// is the *repairable* failure mode: a revocable lock would have
+    /// seized the dead holder's lock instead of spinning forever.
+    DeadHolder,
+    /// The process starved with every peer still alive: genuine
+    /// contention or livelock, not a crashed holder — revocation would
+    /// not have helped.
+    LiveContention,
+}
+
 /// Aggregate results of one [`crate::Simulation::run`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SimReport {
@@ -108,6 +152,9 @@ pub struct SimReport {
     /// lock-based queue whose lock holder died, this is the *expected*
     /// outcome; for a non-blocking queue it is a progress-failure finding.
     pub blocked: Vec<usize>,
+    /// Why each watchdog-flagged pid was blocked, parallel to
+    /// [`SimReport::blocked`] (same length, same order).
+    pub blocked_kinds: Vec<BlockedKind>,
     /// Stall faults injected by the plan.
     pub stalls_injected: u64,
     /// Preemption faults injected by the plan (also counted in
@@ -117,6 +164,10 @@ pub struct SimReport {
     /// the run's processes called
     /// [`crate::SimPlatform::mark_recovered`]).
     pub recoveries: Vec<RecoveryReport>,
+    /// Completed lock revocation + invariant repairs, in completion order
+    /// (empty unless the run's processes called
+    /// [`crate::SimPlatform::mark_repaired`]).
+    pub repairs: Vec<RepairReport>,
 }
 
 impl SimReport {
@@ -162,6 +213,15 @@ impl SimReport {
             .map(RecoveryReport::time_to_recover_ns)
             .max()
     }
+
+    /// The slowest repair's [`RepairReport::time_to_repair_ns`], or
+    /// `None` when no repair was recorded.
+    pub fn time_to_repair_ns(&self) -> Option<u64> {
+        self.repairs
+            .iter()
+            .map(RepairReport::time_to_repair_ns)
+            .max()
+    }
 }
 
 #[cfg(test)]
@@ -181,9 +241,11 @@ mod tests {
             trace: Vec::new(),
             killed: Vec::new(),
             blocked: Vec::new(),
+            blocked_kinds: Vec::new(),
             stalls_injected: 0,
             preempts_injected: 0,
             recoveries: Vec::new(),
+            repairs: Vec::new(),
         }
     }
 
@@ -217,5 +279,27 @@ mod tests {
         });
         assert_eq!(r.time_to_recover_ns(), Some(900));
         assert_eq!(r.recoveries[0].time_to_recover_ns(), 300);
+    }
+
+    #[test]
+    fn time_to_repair_takes_the_slowest_repair() {
+        let mut r = report(1, 0);
+        assert_eq!(r.time_to_repair_ns(), None);
+        r.repairs.push(RepairReport {
+            victim: 0,
+            by: 1,
+            point: "single-lock:repair:enq-completed",
+            killed_at_ns: 100,
+            repaired_at_ns: 350,
+        });
+        r.repairs.push(RepairReport {
+            victim: 2,
+            by: 1,
+            point: "two-lock:repair:deq-rolled-back",
+            killed_at_ns: 200,
+            repaired_at_ns: 900,
+        });
+        assert_eq!(r.time_to_repair_ns(), Some(700));
+        assert_eq!(r.repairs[0].time_to_repair_ns(), 250);
     }
 }

@@ -25,6 +25,8 @@
 
 mod locks;
 mod qlocks;
+mod revocable;
 
 pub use locks::{RawLock, TasLock, TicketLock, TtasLock};
 pub use qlocks::{ClhLock, ClhToken, McsLock, TokenLock};
+pub use revocable::{Acquired, RevocableLock};

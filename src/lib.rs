@@ -74,16 +74,18 @@ pub use msq_sync as sync;
 
 pub use msq_arena::{MemBudget, Reservation, SegArena};
 pub use msq_baselines::{
-    HerlihyQueue, LamportQueue, McQueue, PljQueue, SingleLockQueue, TreiberStack, ValoisQueue,
+    HerlihyQueue, LamportQueue, McQueue, PljQueue, RepairableMcQueue, RepairableSingleLockQueue,
+    SingleLockQueue, TreiberStack, ValoisQueue,
 };
 pub use msq_core::{
-    spsc_channel, EpochMsQueue, LockFreeStack, MsQueue, SegConfig, SegQueue, SegStats,
-    ShardedQueue, TwoLockQueue, WordMsQueue, WordSegQueue, WordShardedQueue, WordTwoLockQueue,
-    DEFAULT_SHARDS,
+    spsc_channel, EpochMsQueue, LockFreeStack, MsQueue, RepairableTwoLockQueue, SegConfig,
+    SegQueue, SegStats, ShardedQueue, TwoLockQueue, WordMsQueue, WordSegQueue, WordShardedQueue,
+    WordTwoLockQueue, DEFAULT_SHARDS,
 };
 pub use msq_harness::{
     run_figure, run_native, run_native_batched, run_simulated, run_simulated_batched,
-    run_simulated_faulted, run_simulated_recovered, Algorithm, FaultedPoint, WorkloadConfig,
+    run_simulated_faulted, run_simulated_recovered, run_simulated_repaired, Algorithm,
+    FaultedPoint, WorkloadConfig,
 };
 pub use msq_linearize::{is_linearizable_queue, History, Recorder};
 pub use msq_platform::{
@@ -91,7 +93,9 @@ pub use msq_platform::{
     NativePlatform, Platform, QueueFull, Tagged,
 };
 pub use msq_sim::{
-    schedule_sweep, FaultAction, FaultPlan, FaultSpec, FaultTrigger, RecoveryPolicy,
-    RecoveryReport, SimConfig, SimPlatform, SimReport, Simulation,
+    schedule_sweep, BlockedKind, FaultAction, FaultPlan, FaultSpec, FaultTrigger, RecoveryPolicy,
+    RecoveryReport, RepairReport, SimConfig, SimPlatform, SimReport, Simulation,
 };
-pub use msq_sync::{ClhLock, McsLock, RawLock, TasLock, TicketLock, TokenLock, TtasLock};
+pub use msq_sync::{
+    Acquired, ClhLock, McsLock, RawLock, RevocableLock, TasLock, TicketLock, TokenLock, TtasLock,
+};

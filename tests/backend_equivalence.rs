@@ -247,6 +247,83 @@ fn backends_agree_under_a_recovery_enabled_kill() {
     }
 }
 
+/// As [`run_report`] but over `algorithm`'s *repairable* build
+/// (DESIGN.md §13): the kill leaves a dead lock holder whose waiters
+/// revoke the lock and repair the torn invariant instead of wedging.
+/// Revocation probes, death-board loads, and the repair record itself
+/// are all ordinary scheduler traffic, so the whole dispossession
+/// schedule — `repairs`, `blocked_kinds`, and the derived
+/// time-to-repair — must replay byte-identically on every backend.
+fn run_repair_report(
+    algorithm: Algorithm,
+    cfg: SimConfig,
+    plan: FaultPlan,
+    workers: usize,
+) -> SimReport {
+    let cfg = SimConfig {
+        sim_workers: Some(workers),
+        ..cfg
+    };
+    let sim = Simulation::with_faults(cfg, plan);
+    let platform = sim.platform();
+    let queue = algorithm.build_repairable(&platform, 1_024);
+    sim.run({
+        let queue = Arc::clone(&queue);
+        move |info| {
+            for i in 0..20_u64 {
+                let value = ((info.pid as u64) << 32) | i;
+                while queue.enqueue(value).is_err() {
+                    platform.delay(50);
+                }
+                platform.delay(200);
+                while queue.dequeue().is_none() {
+                    platform.delay(50);
+                }
+                platform.delay(200);
+            }
+        }
+    })
+}
+
+#[test]
+fn backends_agree_under_a_repair_enabled_kill() {
+    for (algorithm, label) in [
+        (Algorithm::SingleLock, "single-lock:enq:locked"),
+        (Algorithm::NewTwoLock, "two-lock:deq:locked"),
+        (Algorithm::MellorCrummey, "mc:enq:window"),
+    ] {
+        for seed in [0, 11, 42] {
+            let cfg = SimConfig {
+                watchdog_ns: 400_000_000,
+                ..sweep_config(seed)
+            };
+            let plan = FaultPlan::new().kill_at_label(1, label, 0);
+            let serial = run_repair_report(algorithm, cfg, plan.clone(), 0);
+            assert_eq!(serial.killed, vec![1], "{algorithm} seed {seed}");
+            assert!(
+                serial.blocked.is_empty(),
+                "{algorithm} seed {seed}: repair must beat the watchdog"
+            );
+            assert_eq!(serial.repairs.len(), 1, "{algorithm} seed {seed}");
+            assert!(
+                serial
+                    .time_to_repair_ns()
+                    .expect("one dispossession completed")
+                    > 0,
+                "{algorithm} seed {seed}"
+            );
+            for workers in WORKER_COUNTS.into_iter().skip(1) {
+                let parallel = run_repair_report(algorithm, cfg, plan.clone(), workers);
+                assert_eq!(
+                    serial, parallel,
+                    "repair run: frame-stepped backend with {workers} workers \
+                     diverged from serial token backend ({algorithm}, seed {seed})"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn backends_agree_under_stall_and_preempt_faults() {
     let algorithm = Algorithm::NewNonBlocking;

@@ -18,9 +18,9 @@ use std::sync::{Arc, Mutex};
 
 use ms_queues::linearize::{Event, Operation};
 use ms_queues::{
-    is_linearizable_queue, run_simulated_faulted, run_simulated_recovered, schedule_sweep,
-    Algorithm, FaultPlan, History, MemBudget, NativePlatform, Recorder, RecoveryPolicy, SimConfig,
-    Simulation, WorkloadConfig,
+    is_linearizable_queue, run_simulated_faulted, run_simulated_recovered, run_simulated_repaired,
+    schedule_sweep, Algorithm, BlockedKind, FaultPlan, History, MemBudget, NativePlatform,
+    Recorder, RecoveryPolicy, SimConfig, Simulation, WorkloadConfig,
 };
 
 fn tiny() -> WorkloadConfig {
@@ -201,6 +201,11 @@ fn kill_mid_enqueue_on_single_lock_watchdog_flags_survivors_across_16_seeds() {
             point.blocked
         );
         assert_eq!(
+            point.blocked_kinds,
+            vec![BlockedKind::DeadHolder; 2],
+            "seed {seed:#x}: the watchdog must classify the wedge as a dead holder"
+        );
+        assert_eq!(
             point.drained, None,
             "seed {seed:#x}: drain must not be attempted"
         );
@@ -225,7 +230,40 @@ fn kill_in_mellor_crummey_torn_tail_window_blocks_survivors() {
     );
     assert_eq!(point.killed, vec![0]);
     assert!(!point.survivors_completed());
+    assert!(
+        point
+            .blocked_kinds
+            .iter()
+            .all(|k| *k == BlockedKind::DeadHolder),
+        "the stranded link is a dead holder's, not live contention: {:?}",
+        point.blocked_kinds
+    );
     assert_eq!(point.drained, None);
+}
+
+/// The watchdog's other verdict: a straggler that outlives the deadline
+/// with *nobody dead* is classified as live contention — the
+/// non-repairable complement of [`BlockedKind::DeadHolder`]. Here a
+/// 100 ms stall inside the MS enqueue window overshoots a 50 ms watchdog
+/// while every peer stays alive.
+#[test]
+fn watchdog_classifies_an_overlong_stall_as_live_contention() {
+    let point = run_simulated_faulted(
+        Algorithm::NewNonBlocking,
+        SimConfig {
+            processors: 3,
+            watchdog_ns: 50_000_000,
+            ..SimConfig::default()
+        },
+        &tiny(),
+        FaultPlan::new().stall_at_label(0, "msq:enq:window", 0, 100_000_000),
+    );
+    assert!(point.killed.is_empty(), "a stall is not a death");
+    assert_eq!(point.blocked, vec![0], "the straggler itself is retired");
+    assert_eq!(point.blocked_kinds, vec![BlockedKind::LiveContention]);
+    // The other two processes finished their shares long before the
+    // straggler's stall elapsed.
+    assert_eq!(point.pairs_completed, 160);
 }
 
 /// Killing a process *between* reserving a [`MemBudget`] unit and
@@ -498,6 +536,11 @@ fn kill_mid_dequeue_on_single_lock_watchdog_flags_survivors_across_16_seeds() {
             point.blocked
         );
         assert_eq!(
+            point.blocked_kinds,
+            vec![BlockedKind::DeadHolder; 2],
+            "seed {seed:#x}: the watchdog must classify the wedge as a dead holder"
+        );
+        assert_eq!(
             point.drained, None,
             "seed {seed:#x}: drain must not be attempted"
         );
@@ -534,6 +577,11 @@ fn kill_mid_dequeue_on_two_lock_watchdog_flags_survivors_across_16_seeds() {
             2,
             "seed {seed:#x}: both survivors wedge on their next dequeue: {:?}",
             point.blocked
+        );
+        assert_eq!(
+            point.blocked_kinds,
+            vec![BlockedKind::DeadHolder; 2],
+            "seed {seed:#x}: the watchdog must classify the wedge as a dead holder"
         );
         assert_eq!(point.drained, None, "seed {seed:#x}");
     });
@@ -578,6 +626,234 @@ fn dequeue_kill_recovery_absorbs_residual_share_across_16_seeds() {
         let ttr = point.time_to_recover_ns.expect("recovery completed");
         assert!(ttr > 0, "seed {seed:#x}: catch-up costs virtual time");
         assert_eq!(point.drained, Some(0), "seed {seed:#x}");
+    });
+}
+
+/// Every (queue, held lock) pair in the blocking legend, with the
+/// expected repair verdict and the number of values the repaired death
+/// strands. Killing at occurrence 0 of each label dies holding:
+/// the single lock (enqueue side, then dequeue side), the two-lock
+/// queue's `T_lock` and `H_lock`, and Mellor-Crummey's torn-tail and
+/// stranded-dummy windows.
+const REPAIR_COMBOS: [(Algorithm, &str, &str, u64); 6] = [
+    (
+        Algorithm::SingleLock,
+        "single-lock:enq:locked",
+        "single-lock:repair:enq-discard",
+        0,
+    ),
+    (
+        Algorithm::SingleLock,
+        "single-lock:deq:locked",
+        "single-lock:repair:deq-rollback",
+        1,
+    ),
+    (
+        Algorithm::NewTwoLock,
+        "two-lock:enq:locked",
+        "two-lock:repair:enq-discard",
+        0,
+    ),
+    (
+        Algorithm::NewTwoLock,
+        "two-lock:deq:locked",
+        "two-lock:repair:deq-rollback",
+        1,
+    ),
+    (
+        Algorithm::MellorCrummey,
+        "mc:enq:window",
+        "mc:repair:enq-complete",
+        1,
+    ),
+    (
+        Algorithm::MellorCrummey,
+        "mc:deq:window",
+        "mc:repair:deq-complete",
+        0,
+    ),
+];
+
+/// **Tentpole acceptance**: kill a process while it holds each lock (or
+/// sits in each blocking window) of every repairable queue, across 16
+/// perturbed schedules. The watchdog never fires: a waiter revokes the
+/// dead holder's lock, repairs the torn invariant with the expected
+/// verdict, stamps a positive time-to-repair, and the designated
+/// survivor replays the victim's residual share to full conservation.
+#[test]
+fn kill_while_holding_each_lock_is_repaired_across_16_seeds() {
+    let base = SimConfig {
+        processors: 3,
+        quantum_ns: 60_000,
+        watchdog_ns: 400_000_000,
+        ..SimConfig::default()
+    };
+    schedule_sweep(base, 16, |cfg| {
+        let seed = cfg.seed;
+        for (algorithm, kill_label, repair_label, stranded) in REPAIR_COMBOS {
+            let point = run_simulated_repaired(
+                algorithm,
+                cfg,
+                &tiny(),
+                FaultPlan::new().kill_at_label(1, kill_label, 0),
+                RecoveryPolicy::designated(0),
+            );
+            assert_eq!(point.killed, vec![1], "{algorithm} seed {seed:#x}");
+            assert!(
+                point.survivors_completed(),
+                "{algorithm} seed {seed:#x}: repair must beat the watchdog, blocked {:?}",
+                point.blocked
+            );
+            assert!(point.blocked_kinds.is_empty(), "{algorithm} seed {seed:#x}");
+            // The victim died inside its first pair: its whole 80-pair
+            // share is residual and must be replayed.
+            assert_eq!(point.recovered_pairs, 80, "{algorithm} seed {seed:#x}");
+            assert_eq!(
+                point.pairs_completed + point.recovered_pairs,
+                240,
+                "{algorithm} seed {seed:#x}: conservation"
+            );
+            assert_eq!(point.repairs.len(), 1, "{algorithm} seed {seed:#x}");
+            assert_eq!(point.repairs[0].victim, 1, "{algorithm} seed {seed:#x}");
+            assert_eq!(
+                point.repairs[0].point, repair_label,
+                "{algorithm} seed {seed:#x}: wrong repair verdict"
+            );
+            let ttr = point
+                .time_to_repair_ns
+                .expect("a repaired run stamps time-to-repair");
+            assert!(
+                ttr > 0,
+                "{algorithm} seed {seed:#x}: dispossession costs virtual time"
+            );
+            assert_eq!(
+                point.drained,
+                Some(stranded),
+                "{algorithm} seed {seed:#x}: the repair verdict fixes the stranded count"
+            );
+        }
+    });
+}
+
+/// Runs 3 simulated processes over `algorithm`'s *repairable* build with
+/// pid 0 killed at its first pass through `label`, records the surviving
+/// history, drains the queue (possible precisely because repair healed
+/// it), and admits the victim's in-flight operation per the repair
+/// verdict: a repair-completed enqueue whose value surfaced becomes a
+/// pending enqueue, a repair-completed dequeue's vanished value becomes
+/// a pending dequeue, and a discarded or rolled-back operation never
+/// happened at all.
+fn kill_and_record_repaired(cfg: SimConfig, algorithm: Algorithm, label: &'static str) -> History {
+    let seed = cfg.seed;
+    let sim = Simulation::with_faults(cfg, FaultPlan::new().kill_at_label(0, label, 0));
+    let queue = algorithm.build_repairable(&sim.platform(), 64);
+    let recorder = Recorder::new();
+    let handles: Vec<_> = (0..3).map(|p| Some(recorder.handle(p))).collect();
+    let handles = Arc::new(Mutex::new(handles));
+    let report = sim.run({
+        let queue = Arc::clone(&queue);
+        let handles = Arc::clone(&handles);
+        move |info| {
+            let mut handle = handles.lock().unwrap()[info.pid].take().unwrap();
+            for i in 0..2_u64 {
+                let value = ((info.pid as u64) << 8) | i;
+                handle.enqueue(&*queue, value).unwrap();
+                handle.dequeue(&*queue);
+            }
+        }
+    });
+    assert_eq!(report.killed, vec![0], "{algorithm} seed {seed:#x}");
+    assert!(
+        report.blocked.is_empty(),
+        "{algorithm} seed {seed:#x}: repair must beat the watchdog: {:?}",
+        report.blocked
+    );
+    assert!(report.repairs.len() <= 1, "{algorithm} seed {seed:#x}");
+    let mut drainer = recorder.handle(3);
+    while drainer.dequeue(&*queue).is_some() {}
+    drop(drainer);
+
+    let mut events = recorder.finish().events().to_vec();
+    // Enqueue side: the victim's repair-completed enqueue surfaced a
+    // value nobody recorded enqueuing.
+    let victim_surfaced = events
+        .iter()
+        .any(|e| e.operation == Operation::Dequeue(Some(VICTIM_VALUE)));
+    let victim_recorded = events
+        .iter()
+        .any(|e| e.operation == Operation::Enqueue(VICTIM_VALUE));
+    if victim_surfaced && !victim_recorded {
+        events.push(Event {
+            process: 0,
+            operation: Operation::Enqueue(VICTIM_VALUE),
+            invoked_at: 0,
+            returned_at: u64::MAX,
+        });
+    }
+    // Dequeue side: a recorded enqueue whose value never surfaced was
+    // linearized out by the victim's repair-completed dequeue.
+    let enqueued: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.operation {
+            Operation::Enqueue(v) => Some(v),
+            _ => None,
+        })
+        .collect();
+    let dequeued: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.operation {
+            Operation::Dequeue(Some(v)) => Some(v),
+            _ => None,
+        })
+        .collect();
+    let missing: Vec<u64> = enqueued
+        .into_iter()
+        .filter(|v| !dequeued.contains(v))
+        .collect();
+    assert!(
+        missing.len() <= 1,
+        "{algorithm} seed {seed:#x}: at most the victim's in-flight dequeue vanishes: {missing:?}"
+    );
+    for v in missing {
+        events.push(Event {
+            process: 0,
+            operation: Operation::Dequeue(Some(v)),
+            invoked_at: 0,
+            returned_at: u64::MAX,
+        });
+    }
+    History::from_events(events)
+}
+
+/// **Tentpole acceptance, history side**: every repaired history — with
+/// the victim's in-flight operation admitted per the repair verdict —
+/// passes the fast checks and the exhaustive Wing–Gong linearizability
+/// search, across 16 perturbed schedules for all six (queue, lock)
+/// combinations. Repair never invents, loses, reorders, or duplicates a
+/// value.
+#[test]
+fn repaired_histories_linearize_across_16_seeds() {
+    let base = SimConfig {
+        processors: 3,
+        quantum_ns: 60_000,
+        watchdog_ns: 400_000_000,
+        ..SimConfig::default()
+    };
+    schedule_sweep(base, 16, |cfg| {
+        for (algorithm, kill_label, _, _) in REPAIR_COMBOS {
+            let seed = cfg.seed;
+            let history = kill_and_record_repaired(cfg, algorithm, kill_label);
+            assert!(
+                history.check_queue_safety().is_empty(),
+                "{algorithm} seed {seed:#x}: fast checks failed: {:?}",
+                history.events()
+            );
+            assert!(
+                is_linearizable_queue(history.events()),
+                "{algorithm} seed {seed:#x}: repaired history not linearizable: {:?}",
+                history.events()
+            );
+        }
     });
 }
 

@@ -428,6 +428,75 @@ fn killed_reclaimer_still_frees_the_segment_under_a_tiny_budget() {
     assert_eq!(budget.overruns(), 0);
 }
 
+/// **Repair returns the discarded node to the arena.** A process killed
+/// while holding the repairable single lock mid-enqueue (node allocated
+/// and intent published, link not yet made) has its node discarded by
+/// the repairing waiter — back onto the arena free list, not leaked.
+/// Under a pool of 5 nodes (capacity 4 + dummy) a leak would be
+/// immediately visible: the drained queue could never again hold its
+/// full capacity, and the metered budget would misreport after drop.
+#[test]
+fn repair_discarded_node_returns_to_the_arena_and_budget() {
+    use ms_queues::{
+        ConcurrentWordQueue, FaultPlan, MemBudget, RepairableSingleLockQueue, SimConfig, Simulation,
+    };
+
+    let sim = Simulation::with_faults(
+        SimConfig {
+            processors: 3,
+            watchdog_ns: 400_000_000,
+            ..SimConfig::default()
+        },
+        FaultPlan::new().kill_at_label(0, "single-lock:enq:locked", 0),
+    );
+    let platform = sim.platform();
+    let budget = Arc::new(MemBudget::new(&platform, 5));
+    let queue = Arc::new(RepairableSingleLockQueue::with_capacity_and_budget(
+        &platform,
+        4,
+        Arc::clone(&budget),
+    ));
+    assert_eq!(budget.reserved(), 5, "capacity + dummy reserved up front");
+    let report = sim.run({
+        let queue = Arc::clone(&queue);
+        move |info| {
+            for i in 0..20_u64 {
+                let value = ((info.pid as u64) << 40) | i;
+                while queue.enqueue(value).is_err() {
+                    queue.dequeue();
+                }
+                while queue.dequeue().is_none() {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    });
+    assert_eq!(report.killed, vec![0], "the enqueue-window kill fired");
+    assert!(
+        report.blocked.is_empty(),
+        "a waiter repaired the dead holder instead of wedging: {:?}",
+        report.blocked
+    );
+    assert_eq!(report.repairs.len(), 1);
+    assert_eq!(report.repairs[0].point, "single-lock:repair:enq-discard");
+    while queue.dequeue().is_some() {}
+    assert_eq!(
+        budget.reserved(),
+        5,
+        "the pool is preallocated; churn, death, and repair keep residency constant"
+    );
+    // The discarded node must be back on the free list: the empty queue
+    // accepts its full capacity again.
+    for i in 0..4_u64 {
+        queue.enqueue(i).expect("repair credited the node back");
+    }
+    assert!(queue.enqueue(99).is_err(), "capacity unchanged");
+    while queue.dequeue().is_some() {}
+    drop(queue);
+    assert_eq!(budget.reserved(), 0, "drop credits the whole pool back");
+    assert_eq!(budget.overruns(), 0);
+}
+
 #[test]
 fn queues_dropped_mid_flight_leak_nothing() {
     let drops = Arc::new(AtomicU64::new(0));
