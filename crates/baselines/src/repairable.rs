@@ -152,6 +152,11 @@ impl<P: Platform> RepairableSingleLockQueue<P> {
     /// | dequeue of `d` | `Head` moved past `d` | free `d` | `deq-complete` |
     /// | none | invariant intact | nothing | `intact` |
     fn repair(&self, victim: usize) {
+        // A repairer killed here leaves `repairing(dead)` in the lock
+        // word — revocable by the same rule, so the next waiter
+        // re-revokes and inherits the repair duty (the fault sweep in
+        // `tests/fault_injection.rs` drives exactly that chain).
+        self.platform.fault_point("single-lock:repair:window");
         let outcome = self.repair_torn_state();
         self.platform.mark_repaired(victim, outcome);
     }

@@ -380,6 +380,55 @@ fn main() {
         });
     }
 
+    // --- Cell 5: repair latency vs victim count. Kill pids 1..=v, each
+    // at occurrence 0 of the enqueue-side lock label, so the deaths
+    // chain: the lock serializes the critical section, each later
+    // victim (or the survivor) revokes and repairs its predecessor
+    // before dying in its own window — a dead *repairer* leaves
+    // `repairing(dead)`, revocable by the very same rule — and pid 0
+    // finishes the chain, then absorbs every victim's residual share.
+    // The metric is how time-to-repair stretches as the chain deepens. ---
+    struct MultiRepairCell {
+        algorithm: Algorithm,
+        kill_label: &'static str,
+        victims: usize,
+        point: msq_harness::FaultedPoint,
+    }
+    const MULTI_REPAIR: [(Algorithm, &str); 2] = [
+        (Algorithm::SingleLock, "single-lock:enq:locked"),
+        (Algorithm::NewTwoLock, "two-lock:enq:locked"),
+    ];
+    let mut multi_repair_cells: Vec<MultiRepairCell> = Vec::new();
+    for (algorithm, kill_label) in MULTI_REPAIR {
+        for victims in 1..=3_usize {
+            let mut plan = FaultPlan::new();
+            for pid in 1..=victims {
+                plan = plan.kill_at_label(pid, kill_label, 0);
+            }
+            let point = run_simulated_repaired(
+                algorithm,
+                faulted_cfg,
+                &workload,
+                plan,
+                RecoveryPolicy::designated(0),
+            );
+            eprintln!(
+                "multi-repair {:<16} victims {}: killed {:?}, repairs {}, slowest ttr {:?} ns",
+                algorithm.label(),
+                victims,
+                point.killed,
+                point.repairs.len(),
+                point.time_to_repair_ns
+            );
+            multi_repair_cells.push(MultiRepairCell {
+                algorithm,
+                kill_label,
+                victims,
+                point,
+            });
+        }
+    }
+
     // --- Acceptance. ---
     let max_stall = *STALL_LENGTHS.last().unwrap();
     let injected = NUM_STALLS * max_stall;
@@ -464,6 +513,20 @@ fn main() {
             && c.point.time_to_repair_ns.is_some_and(|t| t > 0)
             && c.point.drained.is_some()
     });
+    // Cell 5's claim: the chain of v deaths ends fully repaired — one
+    // repair per victim, every victim's whole share (it died in its
+    // first pair) replayed by the survivor, and nobody watchdog-flagged.
+    let multi_repair_chain_conserves = multi_repair_cells.iter().all(|c| {
+        let v = c.victims;
+        c.point.killed.len() == v
+            && c.point.survivors_completed()
+            && c.point.blocked_kinds.is_empty()
+            && c.point.repairs.len() == v
+            && c.point.recovered_pairs == (v as u64) * (pairs / PROCESSORS as u64)
+            && c.point.pairs_completed + c.point.recovered_pairs == pairs
+            && c.point.time_to_repair_ns.is_some_and(|t| t > 0)
+            && c.point.drained.is_some()
+    });
     eprintln!(
         "acceptance: nonblocking_flat={nonblocking_flat} blocking_collapses={blocking_collapses} \
          figure_ordering={figure_ordering} figure_ordering_{PROCESSORS_HIGH}p={figure_ordering_high} \
@@ -475,7 +538,8 @@ fn main() {
          deq_all_stalls_fired={deq_all_stalls_fired} \
          recovery_absorbs_residual={recovery_absorbs_residual} \
          recovery_lock_based_flagged={recovery_lock_based_flagged} \
-         repair_unwedges_lock_queues={repair_unwedges_lock_queues}"
+         repair_unwedges_lock_queues={repair_unwedges_lock_queues} \
+         multi_repair_chain_conserves={multi_repair_chain_conserves}"
     );
 
     // --- JSON report. ---
@@ -596,6 +660,41 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    json.push_str("  \"repair_vs_victims\": [\n");
+    for (i, c) in multi_repair_cells.iter().enumerate() {
+        let mean_ttr = if c.point.repairs.is_empty() {
+            "null".into()
+        } else {
+            (c.point
+                .repairs
+                .iter()
+                .map(|r| r.time_to_repair_ns())
+                .sum::<u64>()
+                / c.point.repairs.len() as u64)
+                .to_string()
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"algorithm\": \"{}\", \"lock\": \"{}\", \"victims\": {}, \"designated_survivor\": 0, \"killed\": {:?}, \"blocked\": {:?}, \"repairs\": {}, \"slowest_time_to_repair_virtual_ns\": {}, \"mean_time_to_repair_virtual_ns\": {}, \"pairs_completed\": {}, \"recovered_pairs\": {}, \"drained\": {}}}{}",
+            c.algorithm.label(),
+            c.kill_label,
+            c.victims,
+            c.point.killed,
+            c.point.blocked,
+            c.point.repairs.len(),
+            c.point
+                .time_to_repair_ns
+                .map_or_else(|| "null".into(), |t| t.to_string()),
+            mean_ttr,
+            c.point.pairs_completed,
+            c.point.recovered_pairs,
+            c.point
+                .drained
+                .map_or_else(|| "null".into(), |d| d.to_string()),
+            if i + 1 == multi_repair_cells.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(
         json,
         "  \"death\": {{\"new_nonblocking\": {{\"killed\": {:?}, \"blocked\": {:?}, \"drained\": {}, \"pairs_completed\": {}, \"max_completion_virtual_ns\": {}}}, \"single_lock\": {{\"killed\": {:?}, \"blocked\": {:?}, \"pairs_completed\": {}}}}},",
@@ -610,7 +709,7 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"acceptance\": {{\"nonblocking_flat_bound\": {flat_bound}, \"nonblocking_flat\": {nonblocking_flat}, \"blocking_collapses\": {blocking_collapses}, \"figure_ordering\": {figure_ordering}, \"figure_ordering_high\": {figure_ordering_high}, \"all_stalls_fired\": {all_stalls_fired}, \"kill_nonblocking_survives\": {kill_nonblocking_survives}, \"kill_single_lock_blocks\": {kill_single_lock_blocks}, \"deq_survivable_flat\": {deq_survivable_flat}, \"deq_blocking_collapses\": {deq_blocking_collapses}, \"deq_all_stalls_fired\": {deq_all_stalls_fired}, \"recovery_absorbs_residual\": {recovery_absorbs_residual}, \"recovery_lock_based_flagged\": {recovery_lock_based_flagged}, \"repair_unwedges_lock_queues\": {repair_unwedges_lock_queues}}}"
+        "  \"acceptance\": {{\"nonblocking_flat_bound\": {flat_bound}, \"nonblocking_flat\": {nonblocking_flat}, \"blocking_collapses\": {blocking_collapses}, \"figure_ordering\": {figure_ordering}, \"figure_ordering_high\": {figure_ordering_high}, \"all_stalls_fired\": {all_stalls_fired}, \"kill_nonblocking_survives\": {kill_nonblocking_survives}, \"kill_single_lock_blocks\": {kill_single_lock_blocks}, \"deq_survivable_flat\": {deq_survivable_flat}, \"deq_blocking_collapses\": {deq_blocking_collapses}, \"deq_all_stalls_fired\": {deq_all_stalls_fired}, \"recovery_absorbs_residual\": {recovery_absorbs_residual}, \"recovery_lock_based_flagged\": {recovery_lock_based_flagged}, \"repair_unwedges_lock_queues\": {repair_unwedges_lock_queues}, \"multi_repair_chain_conserves\": {multi_repair_chain_conserves}}}"
     );
     json.push_str("}\n");
 

@@ -121,6 +121,9 @@ impl<P: Platform> RepairableTwoLockQueue<P> {
     /// completes the enqueue if the link (or the tail swing) already
     /// landed, discards the node otherwise.
     fn repair_tail(&self, victim: usize) {
+        // A repairer killed here leaves `repairing(dead)` in T_lock —
+        // revocable by the same rule, so repair duty is never lost.
+        self.platform.fault_point("two-lock:repair:window");
         let intent = self.enq_intent.load();
         let outcome = if intent != 0 {
             let node = (intent - 1) as u32;
@@ -150,6 +153,8 @@ impl<P: Platform> RepairableTwoLockQueue<P> {
     /// frees the stranded dummy if the head already swung, rolls back
     /// otherwise.
     fn repair_head(&self, victim: usize) {
+        // Same re-revocation story as `repair_tail`, for H_lock.
+        self.platform.fault_point("two-lock:repair:window");
         let intent = self.deq_intent.load();
         let outcome = if intent != 0 {
             let node = (intent - 1) as u32;

@@ -24,10 +24,16 @@
 
 mod figures;
 mod registry;
+mod scenario;
 mod workload;
 
 pub use figures::{figure_spec, run_figure, FigureData, FigureRow, FigureSpec};
 pub use registry::Algorithm;
+pub use scenario::{
+    percentile_ns, run_scenario_native, run_scenario_simulated, BatchedScenario, OpenLoopScenario,
+    PairedScenario, PipelineScenario, PolicyScenario, Scenario, ScenarioCounters, ScenarioCtx,
+    ScenarioOutcome, StealingScenario,
+};
 pub use workload::{
     run_native, run_native_batched, run_simulated, run_simulated_batched, run_simulated_faulted,
     run_simulated_recovered, run_simulated_repaired, FaultedPoint, MeasuredPoint, WorkloadConfig,

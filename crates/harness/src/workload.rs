@@ -1,21 +1,17 @@
 //! The paper's workload, drivable on the simulator or native threads.
 
-use std::sync::{Arc, Barrier};
-use std::time::Instant;
-
-use msq_arena::MemBudget;
-use msq_platform::{AtomicWord, ConcurrentWordQueue, NativePlatform, Platform};
-use msq_sim::{
-    BlockedKind, FaultPlan, RecoveryPolicy, RecoveryReport, RepairReport, SimConfig, Simulation,
-};
+use msq_sim::{BlockedKind, FaultPlan, RecoveryPolicy, RecoveryReport, RepairReport, SimConfig};
 
 use crate::registry::Algorithm;
+use crate::scenario::{
+    run_scenario_native, run_scenario_simulated, BatchedScenario, PairedScenario, PolicyScenario,
+};
 
 /// Marks a replayed pair's value as recovery work: set on bit 39, below
 /// the pid field (bits 40+) and above any realistic pair index, so a
 /// survivor re-running victim pair `i` enqueues a value distinct from
 /// anything the victim itself may have left in flight.
-const RECOVERY_BIT: u64 = 1 << 39;
+pub(crate) const RECOVERY_BIT: u64 = 1 << 39;
 
 /// Workload parameters (Section 4 defaults are the `Default` impl, with
 /// the op count scaled down — the simulator pays a scheduling transaction
@@ -91,84 +87,10 @@ impl MeasuredPoint {
 
 /// Splits `total` pairs across `n` processes as the paper does
 /// (⌊10^6/p⌋ or ⌈10^6/p⌉ each).
-fn share(total: u64, n: usize, pid: usize) -> u64 {
+pub(crate) fn share(total: u64, n: usize, pid: usize) -> u64 {
     let base = total / n as u64;
     let extra = total % n as u64;
     base + u64::from((pid as u64) < extra)
-}
-
-/// The per-process loop: enqueue, other work, dequeue, other work.
-fn process_body<P: Platform>(
-    queue: &dyn ConcurrentWordQueue,
-    platform: &P,
-    pid: usize,
-    my_pairs: u64,
-    other_work_ns: u64,
-) {
-    for i in 0..my_pairs {
-        let value = ((pid as u64) << 40) | i;
-        // Valois can transiently exhaust its pool under preemption; every
-        // other algorithm succeeds immediately when capacity >= processes.
-        while queue.enqueue(value).is_err() {
-            platform.cpu_relax();
-        }
-        platform.delay(other_work_ns);
-        // A dequeue may observe empty only transiently (each process
-        // enqueued before dequeuing, so the queue holds at least as many
-        // values as there are processes inside `dequeue`); retry.
-        while queue.dequeue().is_none() {
-            platform.cpu_relax();
-        }
-        platform.delay(other_work_ns);
-    }
-}
-
-/// The per-process loop in batch mode: enqueue a whole batch, other work,
-/// dequeue the batch back, other work. One round of `batch` pairs does
-/// the "other work" spins once, so batch mode isolates the queue-traffic
-/// cost the way the paper's per-op workload does — see
-/// [`run_simulated_batched`] for the matching net-time accounting.
-fn process_body_batched<P: Platform>(
-    queue: &dyn ConcurrentWordQueue,
-    platform: &P,
-    pid: usize,
-    my_pairs: u64,
-    other_work_ns: u64,
-    batch: usize,
-) {
-    let mut out: Vec<u64> = Vec::with_capacity(batch);
-    let mut done = 0u64;
-    while done < my_pairs {
-        let b = (my_pairs - done).min(batch as u64);
-        let values: Vec<u64> = (done..done + b).map(|i| ((pid as u64) << 40) | i).collect();
-        let mut rest: &[u64] = &values;
-        // A bounded queue can fill transiently; retry the unconsumed
-        // suffix (the prefix is already in, in order).
-        loop {
-            match queue.enqueue_batch(rest) {
-                Ok(()) => break,
-                Err(e) => {
-                    rest = &rest[e.pushed..];
-                    platform.cpu_relax();
-                }
-            }
-        }
-        platform.delay(other_work_ns);
-        // Every process enqueues its batch before collecting one back, so
-        // the union of shards/segments holds at least `b` values while
-        // anyone is still collecting; empty sweeps are transient.
-        let mut taken = 0usize;
-        while taken < b as usize {
-            let got = queue.dequeue_batch(&mut out, b as usize - taken);
-            if got == 0 {
-                platform.cpu_relax();
-            }
-            taken += got;
-        }
-        out.clear();
-        platform.delay(other_work_ns);
-        done += b;
-    }
 }
 
 /// Runs the workload for `algorithm` on a simulated machine.
@@ -176,46 +98,25 @@ fn process_body_batched<P: Platform>(
 /// `sim_config.processors` and `.processes_per_processor` select the
 /// figure: `(p, 1)` for Figure 3, `(p, 2)` for Figure 4, `(p, 3)` for
 /// Figure 5.
+///
+/// A thin wrapper over [`run_scenario_simulated`] with the
+/// [`PairedScenario`] and an empty fault plan; the `backend_equivalence`
+/// test pins its `SimReport` byte-identical to the pre-engine loop.
 pub fn run_simulated(
     algorithm: Algorithm,
     sim_config: SimConfig,
     workload: &WorkloadConfig,
 ) -> MeasuredPoint {
-    let sim = Simulation::new(sim_config);
-    let platform = sim.platform();
-    let budget = workload
-        .mem_budget
-        .map(|limit| Arc::new(MemBudget::new(&platform, limit)));
-    let queue = algorithm.build_with_budget(&platform, workload.capacity, budget.clone());
-    let n = sim.num_processes();
-    let pairs_total = workload.pairs_total;
-    let other_work_ns = workload.other_work_ns;
-    let report = sim.run({
-        let queue = Arc::clone(&queue);
-        let platform = platform.clone();
-        move |info| {
-            let my_pairs = share(pairs_total, info.num_processes, info.pid);
-            process_body(&*queue, &platform, info.pid, my_pairs, other_work_ns);
-        }
-    });
-    debug_assert_eq!(queue.dequeue(), None, "workload must drain the queue");
-    // Net time: subtract the other work one processor performs. Each
-    // processor's processes execute pairs_total / processors pairs in
-    // aggregate, each pair spinning twice.
-    let per_processor_other_work = (pairs_total / sim_config.processors as u64) * 2 * other_work_ns;
-    MeasuredPoint {
+    let out = run_scenario_simulated(
         algorithm,
-        processors: sim_config.processors,
-        processes: n,
-        pairs: pairs_total,
-        elapsed_ns: report.elapsed_ns,
-        net_ns: report.elapsed_ns.saturating_sub(per_processor_other_work),
-        miss_rate: report.miss_rate(),
-        cas_failures: report.cas_failures,
-        preemptions: report.preemptions,
-        peak_resident_segments: budget.as_ref().map(|b| b.peak()),
-        budget_denials: budget.as_ref().map(|b| b.denials()),
-    }
+        sim_config,
+        PairedScenario {
+            workload: *workload,
+        },
+        FaultPlan::new(),
+    );
+    debug_assert_eq!(out.point.drained, Some(0), "workload must drain the queue");
+    out.point.point
 }
 
 /// One faulted experiment: the workload of [`run_simulated`] plus an
@@ -291,88 +192,15 @@ pub fn run_simulated_faulted(
     workload: &WorkloadConfig,
     plan: FaultPlan,
 ) -> FaultedPoint {
-    let has_kills = plan.has_kills();
-    let sim = Simulation::with_faults(sim_config, plan);
-    let platform = sim.platform();
-    let budget = workload
-        .mem_budget
-        .map(|limit| Arc::new(MemBudget::new(&platform, limit)));
-    let queue = algorithm.build_with_budget(&platform, workload.capacity, budget.clone());
-    let n = sim.num_processes();
-    let pairs_total = workload.pairs_total;
-    let other_work_ns = workload.other_work_ns;
-    let pairs_done = Arc::new(
-        (0..n)
-            .map(|_| std::sync::atomic::AtomicU64::new(0))
-            .collect::<Vec<_>>(),
-    );
-    let report = sim.run({
-        let queue = Arc::clone(&queue);
-        let platform = platform.clone();
-        let pairs_done = Arc::clone(&pairs_done);
-        move |info| {
-            let my_pairs = share(pairs_total, info.num_processes, info.pid);
-            for i in 0..my_pairs {
-                let value = ((info.pid as u64) << 40) | i;
-                while queue.enqueue(value).is_err() {
-                    platform.cpu_relax();
-                }
-                platform.delay(other_work_ns);
-                while queue.dequeue().is_none() {
-                    platform.cpu_relax();
-                }
-                platform.delay(other_work_ns);
-                // Recorded per pair so a killed process's completed work
-                // still counts (its closure never returns).
-                pairs_done[info.pid].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            }
-        }
-    });
-    // Draining a blocking queue whose lock died held would spin forever
-    // on the *native* caller thread (no watchdog out here); skip it.
-    let drain_is_safe = !has_kills || algorithm.is_nonblocking();
-    let drained = if drain_is_safe && report.blocked.is_empty() {
-        let mut count = 0u64;
-        while queue.dequeue().is_some() {
-            count += 1;
-        }
-        Some(count)
-    } else {
-        None
-    };
-    let pairs_completed = pairs_done
-        .iter()
-        .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
-        .sum();
-    let per_processor_other_work = (pairs_total / sim_config.processors as u64) * 2 * other_work_ns;
-    FaultedPoint {
-        point: MeasuredPoint {
-            algorithm,
-            processors: sim_config.processors,
-            processes: n,
-            pairs: pairs_total,
-            elapsed_ns: report.elapsed_ns,
-            net_ns: report.elapsed_ns.saturating_sub(per_processor_other_work),
-            miss_rate: report.miss_rate(),
-            cas_failures: report.cas_failures,
-            preemptions: report.preemptions,
-            peak_resident_segments: budget.as_ref().map(|b| b.peak()),
-            budget_denials: budget.as_ref().map(|b| b.denials()),
+    run_scenario_simulated(
+        algorithm,
+        sim_config,
+        PairedScenario {
+            workload: *workload,
         },
-        pairs_completed,
-        killed: report.killed.clone(),
-        blocked: report.blocked.clone(),
-        blocked_kinds: report.blocked_kinds.clone(),
-        stalls_injected: report.stalls_injected,
-        preempts_injected: report.preempts_injected,
-        max_completion_ns: report.max_completion_ns(),
-        drained,
-        recovered_pairs: 0,
-        time_to_recover_ns: report.time_to_recover_ns(),
-        recoveries: report.recoveries.clone(),
-        repairs: report.repairs.clone(),
-        time_to_repair_ns: report.time_to_repair_ns(),
-    }
+        plan,
+    )
+    .point
 }
 
 /// Runs the faulted workload of [`run_simulated_faulted`] with a
@@ -400,7 +228,17 @@ pub fn run_simulated_recovered(
     plan: FaultPlan,
     policy: RecoveryPolicy,
 ) -> FaultedPoint {
-    run_simulated_with_policy(algorithm, sim_config, workload, plan, policy, false)
+    run_scenario_simulated(
+        algorithm,
+        sim_config,
+        PolicyScenario {
+            workload: *workload,
+            policy,
+            repairable: false,
+        },
+        plan,
+    )
+    .point
 }
 
 /// Runs the recovered workload of [`run_simulated_recovered`] on the
@@ -425,156 +263,17 @@ pub fn run_simulated_repaired(
     plan: FaultPlan,
     policy: RecoveryPolicy,
 ) -> FaultedPoint {
-    run_simulated_with_policy(algorithm, sim_config, workload, plan, policy, true)
-}
-
-fn run_simulated_with_policy(
-    algorithm: Algorithm,
-    sim_config: SimConfig,
-    workload: &WorkloadConfig,
-    plan: FaultPlan,
-    policy: RecoveryPolicy,
-    repairable: bool,
-) -> FaultedPoint {
-    let has_kills = plan.has_kills();
-    let sim = Simulation::with_faults(sim_config, plan);
-    let platform = sim.platform();
-    let budget = workload
-        .mem_budget
-        .map(|limit| Arc::new(MemBudget::new(&platform, limit)));
-    let queue = if repairable {
-        algorithm.build_repairable_with_budget(&platform, workload.capacity, budget.clone())
-    } else {
-        algorithm.build_with_budget(&platform, workload.capacity, budget.clone())
-    };
-    let n = sim.num_processes();
-    assert!(policy.survivor < n, "designated survivor must be a pid");
-    // Setup is untimed: allocate the progress cells and the death board
-    // before the run so every backend sees identical cell ids.
-    let progress: Arc<Vec<_>> = Arc::new((0..n).map(|_| platform.alloc_cell(0)).collect());
-    let board = Arc::new(platform.death_board());
-    let pairs_total = workload.pairs_total;
-    let other_work_ns = workload.other_work_ns;
-    let pairs_done = Arc::new(
-        (0..n)
-            .map(|_| std::sync::atomic::AtomicU64::new(0))
-            .collect::<Vec<_>>(),
-    );
-    let recovered_count = Arc::new(std::sync::atomic::AtomicU64::new(0));
-    let report = sim.run({
-        let queue = Arc::clone(&queue);
-        let platform = platform.clone();
-        let pairs_done = Arc::clone(&pairs_done);
-        let recovered_count = Arc::clone(&recovered_count);
-        let progress = Arc::clone(&progress);
-        let board = Arc::clone(&board);
-        move |info| {
-            let n = info.num_processes;
-            let my_pairs = share(pairs_total, n, info.pid);
-            let mut absorbed = vec![false; n];
-            let run_pair = |value: u64| {
-                while queue.enqueue(value).is_err() {
-                    platform.cpu_relax();
-                }
-                platform.delay(other_work_ns);
-                while queue.dequeue().is_none() {
-                    platform.cpu_relax();
-                }
-                platform.delay(other_work_ns);
-            };
-            // Absorb any victim whose death notice is newly posted: size
-            // its residual share from its progress cell, replay it, and
-            // stamp the handoff.
-            let absorb_new_deaths = |absorbed: &mut [bool]| {
-                let notices = board.load();
-                for victim in 0..n.min(64) {
-                    if victim == info.pid || absorbed[victim] || notices & (1 << victim) == 0 {
-                        continue;
-                    }
-                    absorbed[victim] = true;
-                    let done = progress[victim].load();
-                    for i in done..share(pairs_total, n, victim) {
-                        run_pair(((victim as u64) << 40) | RECOVERY_BIT | i);
-                        recovered_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    }
-                    platform.mark_recovered(victim);
-                }
-            };
-            for i in 0..my_pairs {
-                run_pair(((info.pid as u64) << 40) | i);
-                pairs_done[info.pid].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                progress[info.pid].store(i + 1);
-                if policy.is_survivor(info.pid) {
-                    absorb_new_deaths(&mut absorbed);
-                }
-            }
-            if policy.is_survivor(info.pid) {
-                // Stay on watch until every other process has either
-                // finished its share or been absorbed. A watchdog-blocked
-                // process (lock-based queue, dead lock-holder) posts no
-                // notice and never finishes, so the watchdog eventually
-                // retires this survivor too — the asserted blocking
-                // outcome.
-                loop {
-                    absorb_new_deaths(&mut absorbed);
-                    let all_settled = (0..n).all(|v| {
-                        v == info.pid
-                            || absorbed[v]
-                            || progress[v].load() == share(pairs_total, n, v)
-                    });
-                    if all_settled {
-                        break;
-                    }
-                    platform.delay(other_work_ns);
-                }
-            }
-        }
-    });
-    // A repaired queue is always approachable: the drain itself revokes
-    // any still-held dead lock and completes the repair first.
-    let drain_is_safe = repairable || !has_kills || algorithm.is_nonblocking();
-    let drained = if drain_is_safe && report.blocked.is_empty() {
-        let mut count = 0u64;
-        while queue.dequeue().is_some() {
-            count += 1;
-        }
-        Some(count)
-    } else {
-        None
-    };
-    let pairs_completed = pairs_done
-        .iter()
-        .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
-        .sum();
-    let per_processor_other_work = (pairs_total / sim_config.processors as u64) * 2 * other_work_ns;
-    FaultedPoint {
-        point: MeasuredPoint {
-            algorithm,
-            processors: sim_config.processors,
-            processes: n,
-            pairs: pairs_total,
-            elapsed_ns: report.elapsed_ns,
-            net_ns: report.elapsed_ns.saturating_sub(per_processor_other_work),
-            miss_rate: report.miss_rate(),
-            cas_failures: report.cas_failures,
-            preemptions: report.preemptions,
-            peak_resident_segments: budget.as_ref().map(|b| b.peak()),
-            budget_denials: budget.as_ref().map(|b| b.denials()),
+    run_scenario_simulated(
+        algorithm,
+        sim_config,
+        PolicyScenario {
+            workload: *workload,
+            policy,
+            repairable: true,
         },
-        pairs_completed,
-        killed: report.killed.clone(),
-        blocked: report.blocked.clone(),
-        blocked_kinds: report.blocked_kinds.clone(),
-        stalls_injected: report.stalls_injected,
-        preempts_injected: report.preempts_injected,
-        max_completion_ns: report.max_completion_ns(),
-        drained,
-        recovered_pairs: recovered_count.load(std::sync::atomic::Ordering::Relaxed),
-        time_to_recover_ns: report.time_to_recover_ns(),
-        recoveries: report.recoveries.clone(),
-        repairs: report.repairs.clone(),
-        time_to_repair_ns: report.time_to_repair_ns(),
-    }
+        plan,
+    )
+    .point
 }
 
 /// Runs the workload for `algorithm` on real threads.
@@ -588,46 +287,15 @@ pub fn run_native(
     processes: usize,
     workload: &WorkloadConfig,
 ) -> MeasuredPoint {
-    assert!(processes >= 1);
-    let platform = NativePlatform::new();
-    let budget = workload
-        .mem_budget
-        .map(|limit| Arc::new(MemBudget::new(&platform, limit)));
-    let queue = algorithm.build_with_budget(&platform, workload.capacity, budget.clone());
-    let barrier = Arc::new(Barrier::new(processes + 1));
-    let pairs_total = workload.pairs_total;
-    let other_work_ns = workload.other_work_ns;
-    let mut handles = Vec::new();
-    for pid in 0..processes {
-        let queue = Arc::clone(&queue);
-        let barrier = Arc::clone(&barrier);
-        handles.push(std::thread::spawn(move || {
-            let platform = NativePlatform::new();
-            let my_pairs = share(pairs_total, processes, pid);
-            barrier.wait();
-            process_body(&*queue, &platform, pid, my_pairs, other_work_ns);
-        }));
-    }
-    barrier.wait();
-    let start = Instant::now();
-    for handle in handles {
-        handle.join().expect("workload thread");
-    }
-    let elapsed_ns = start.elapsed().as_nanos() as u64;
-    let per_processor_other_work = (pairs_total / processes as u64) * 2 * other_work_ns;
-    MeasuredPoint {
+    run_scenario_native(
         algorithm,
-        processors: processes,
         processes,
-        pairs: pairs_total,
-        elapsed_ns,
-        net_ns: elapsed_ns.saturating_sub(per_processor_other_work),
-        miss_rate: 0.0,
-        cas_failures: 0,
-        preemptions: 0,
-        peak_resident_segments: budget.as_ref().map(|b| b.peak()),
-        budget_denials: budget.as_ref().map(|b| b.denials()),
-    }
+        PairedScenario {
+            workload: *workload,
+        },
+    )
+    .point
+    .point
 }
 
 /// Runs the **batch-mode** workload for `algorithm` on a simulated
@@ -645,45 +313,17 @@ pub fn run_simulated_batched(
     batch: usize,
 ) -> MeasuredPoint {
     assert!(batch >= 1);
-    let sim = Simulation::new(sim_config);
-    let platform = sim.platform();
-    let budget = workload
-        .mem_budget
-        .map(|limit| Arc::new(MemBudget::new(&platform, limit)));
-    let queue = algorithm.build_with_budget(&platform, workload.capacity, budget.clone());
-    let n = sim.num_processes();
-    // Every process may hold a whole batch in flight; a tighter capacity
-    // could deadlock all producers against a full queue.
-    assert!(
-        u64::from(workload.capacity) >= (n as u64) * (batch as u64),
-        "capacity must cover processes * batch"
-    );
-    let pairs_total = workload.pairs_total;
-    let other_work_ns = workload.other_work_ns;
-    let report = sim.run({
-        let queue = Arc::clone(&queue);
-        let platform = platform.clone();
-        move |info| {
-            let my_pairs = share(pairs_total, info.num_processes, info.pid);
-            process_body_batched(&*queue, &platform, info.pid, my_pairs, other_work_ns, batch);
-        }
-    });
-    debug_assert_eq!(queue.dequeue(), None, "workload must drain the queue");
-    let rounds_per_processor = pairs_total / sim_config.processors as u64 / batch as u64;
-    let per_processor_other_work = rounds_per_processor * 2 * other_work_ns;
-    MeasuredPoint {
+    let out = run_scenario_simulated(
         algorithm,
-        processors: sim_config.processors,
-        processes: n,
-        pairs: pairs_total,
-        elapsed_ns: report.elapsed_ns,
-        net_ns: report.elapsed_ns.saturating_sub(per_processor_other_work),
-        miss_rate: report.miss_rate(),
-        cas_failures: report.cas_failures,
-        preemptions: report.preemptions,
-        peak_resident_segments: budget.as_ref().map(|b| b.peak()),
-        budget_denials: budget.as_ref().map(|b| b.denials()),
-    }
+        sim_config,
+        BatchedScenario {
+            workload: *workload,
+            batch,
+        },
+        FaultPlan::new(),
+    );
+    debug_assert_eq!(out.point.drained, Some(0), "workload must drain the queue");
+    out.point.point
 }
 
 /// Runs the batch-mode workload for `algorithm` on real threads; the
@@ -694,52 +334,17 @@ pub fn run_native_batched(
     workload: &WorkloadConfig,
     batch: usize,
 ) -> MeasuredPoint {
-    assert!(processes >= 1);
     assert!(batch >= 1);
-    assert!(
-        u64::from(workload.capacity) >= (processes as u64) * (batch as u64),
-        "capacity must cover processes * batch"
-    );
-    let platform = NativePlatform::new();
-    let budget = workload
-        .mem_budget
-        .map(|limit| Arc::new(MemBudget::new(&platform, limit)));
-    let queue = algorithm.build_with_budget(&platform, workload.capacity, budget.clone());
-    let barrier = Arc::new(Barrier::new(processes + 1));
-    let pairs_total = workload.pairs_total;
-    let other_work_ns = workload.other_work_ns;
-    let mut handles = Vec::new();
-    for pid in 0..processes {
-        let queue = Arc::clone(&queue);
-        let barrier = Arc::clone(&barrier);
-        handles.push(std::thread::spawn(move || {
-            let platform = NativePlatform::new();
-            let my_pairs = share(pairs_total, processes, pid);
-            barrier.wait();
-            process_body_batched(&*queue, &platform, pid, my_pairs, other_work_ns, batch);
-        }));
-    }
-    barrier.wait();
-    let start = Instant::now();
-    for handle in handles {
-        handle.join().expect("workload thread");
-    }
-    let elapsed_ns = start.elapsed().as_nanos() as u64;
-    let rounds_per_processor = pairs_total / processes as u64 / batch as u64;
-    let per_processor_other_work = rounds_per_processor * 2 * other_work_ns;
-    MeasuredPoint {
+    run_scenario_native(
         algorithm,
-        processors: processes,
         processes,
-        pairs: pairs_total,
-        elapsed_ns,
-        net_ns: elapsed_ns.saturating_sub(per_processor_other_work),
-        miss_rate: 0.0,
-        cas_failures: 0,
-        preemptions: 0,
-        peak_resident_segments: budget.as_ref().map(|b| b.peak()),
-        budget_denials: budget.as_ref().map(|b| b.denials()),
-    }
+        BatchedScenario {
+            workload: *workload,
+            batch,
+        },
+    )
+    .point
+    .point
 }
 
 #[cfg(test)]

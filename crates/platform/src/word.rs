@@ -156,6 +156,49 @@ pub trait Platform: Clone + Send + Sync + Sized + 'static {
     fn mark_repaired(&self, victim: usize, point: &'static str) {
         let _ = (victim, point);
     }
+
+    /// Records that the caller absorbed dead peer `victim`'s remaining
+    /// work share (the restart-and-catch-up recovery handoff).
+    ///
+    /// Purely an observability stamp, free of shared-memory traffic, like
+    /// [`Platform::mark_repaired`]. The default is a no-op — natively
+    /// nobody is ever reported dead ([`Platform::dead_peers`]), so the
+    /// handoff is unreachable — while the simulator stamps a
+    /// `RecoveryReport` into its `SimReport`.
+    fn mark_recovered(&self, victim: usize) {
+        let _ = victim;
+    }
+
+    /// The caller's current time in nanoseconds, on whatever clock the
+    /// platform runs: virtual time for the simulator, monotonic wall
+    /// clock (measured from a process-wide epoch) natively. Open-loop
+    /// workloads use it to pace arrival schedules and to timestamp
+    /// enqueue-to-dequeue latency; the two uses only need the clock to be
+    /// consistent within one run, never across platforms.
+    fn now_ns(&self) -> u64 {
+        native_epoch_ns()
+    }
+
+    /// Records one enqueue-to-dequeue latency sample: the caller consumed
+    /// an item whose producer stamped it with `arrival_ns` (on this
+    /// platform's [`Platform::now_ns`] clock).
+    ///
+    /// Purely an observability stamp, free of shared-memory traffic. The
+    /// default is a no-op — native harnesses collect samples host-side —
+    /// while the simulator appends a `LatencySample` to its `SimReport`
+    /// so virtual-time percentiles survive into the report.
+    fn record_latency(&self, arrival_ns: u64) {
+        let _ = arrival_ns;
+    }
+}
+
+/// Nanoseconds since a process-wide monotonic epoch (fixed at first use),
+/// the default [`Platform::now_ns`] clock.
+fn native_epoch_ns() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(std::time::Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 fn affinity_hint_default() -> usize {

@@ -164,6 +164,8 @@ pub(crate) struct Core {
     pub(crate) recoveries: Vec<crate::report::RecoveryReport>,
     /// Completed lock revocation + invariant repairs, in completion order.
     pub(crate) repairs: Vec<crate::report::RepairReport>,
+    /// Enqueue-to-dequeue latency samples, in completion order.
+    pub(crate) latencies: Vec<crate::report::LatencySample>,
 }
 
 /// Applies `op` to one cell on behalf of one process on processor `cpu`,
@@ -323,6 +325,7 @@ impl Core {
             kill_board: None,
             recoveries: Vec::new(),
             repairs: Vec::new(),
+            latencies: Vec::new(),
         }
     }
 
@@ -364,6 +367,23 @@ impl Core {
             killed_at_ns: self.processes[victim].finished_at_ns,
             recovered_at_ns: self.processors[cpu].clock_ns,
         });
+    }
+
+    /// Records an enqueue-to-dequeue latency sample on behalf of consumer
+    /// `pid`: the gap between an item's stamped arrival time and `pid`'s
+    /// current virtual time.
+    pub(crate) fn note_latency(&mut self, pid: usize, arrival_ns: u64) {
+        let cpu = self.processes[pid].cpu;
+        self.latencies.push(crate::report::LatencySample {
+            pid,
+            arrival_ns,
+            completed_at_ns: self.processors[cpu].clock_ns,
+        });
+    }
+
+    /// The calling process's current virtual time (its processor's clock).
+    pub(crate) fn clock_of(&self, pid: usize) -> u64 {
+        self.processors[self.processes[pid].cpu].clock_ns
     }
 
     /// Records that `by` revoked dead process `victim`'s lock (or seized
@@ -609,6 +629,7 @@ impl Core {
             preempts_injected: self.preempts_injected,
             recoveries: self.recoveries.clone(),
             repairs: self.repairs.clone(),
+            latencies: self.latencies.clone(),
         }
     }
 }
@@ -677,6 +698,26 @@ impl SimShared {
             return;
         }
         core.note_repair(victim, pid, point);
+    }
+
+    /// Records an enqueue-to-dequeue latency sample on behalf of `pid`.
+    /// Free, exactly like [`SimShared::mark_recovered`]: the dequeue that
+    /// surfaced the item was already charged, and the stamp itself is
+    /// pure observability.
+    pub fn record_latency(&self, pid: usize, arrival_ns: u64) {
+        let mut core = self.wait_for_token(pid);
+        if core.processes[pid].finished {
+            return;
+        }
+        core.note_latency(pid, arrival_ns);
+    }
+
+    /// Reads `pid`'s current virtual time (its processor's clock). Free
+    /// and token-keeping: a clock read touches no shared memory, so it
+    /// charges nothing and does not pass the token.
+    pub fn now_ns(&self, pid: usize) -> u64 {
+        let core = self.wait_for_token(pid);
+        core.clock_of(pid)
     }
 
     /// Direct, cost-free access for the coordinator thread (setup before

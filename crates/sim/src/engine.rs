@@ -98,6 +98,22 @@ impl EngineShared {
         }
     }
 
+    /// Records an enqueue-to-dequeue latency sample on behalf of `pid`.
+    pub fn record_latency(&self, pid: usize, arrival_ns: u64) {
+        match self {
+            EngineShared::Token(s) => s.record_latency(pid, arrival_ns),
+            EngineShared::Frames(s) => s.record_latency(pid, arrival_ns),
+        }
+    }
+
+    /// Reads `pid`'s current virtual time (its processor's clock).
+    pub fn now_ns(&self, pid: usize) -> u64 {
+        match self {
+            EngineShared::Token(s) => s.now_ns(pid),
+            EngineShared::Frames(s) => s.now_ns(pid),
+        }
+    }
+
     /// Records that `pid` revoked dead process `victim`'s lock and
     /// repaired the torn invariant (outcome label `point`).
     pub fn mark_repaired(&self, pid: usize, victim: usize, point: &'static str) {

@@ -62,6 +62,15 @@ enum Entry {
         /// The repair-outcome label.
         point: &'static str,
     },
+    /// A latency sample: the parking process consumed an item stamped
+    /// with this arrival time. Zero-cost, like a label.
+    Stamp {
+        /// The consumed item's virtual arrival time.
+        arrival_ns: u64,
+    },
+    /// A virtual-clock read. Zero-cost and token-keeping: the clock value
+    /// is posted back as the entry's result.
+    Now,
     /// Process retirement.
     Finish,
 }
@@ -176,7 +185,12 @@ impl RoundWork {
                     charge_parts(&self.cfg, processor, item.pid, nanos);
                     slot.result = Some(EntryResult::Done);
                 }
-                Entry::Label(_) | Entry::Recovered(_) | Entry::Repaired { .. } | Entry::Finish => {
+                Entry::Label(_)
+                | Entry::Recovered(_)
+                | Entry::Repaired { .. }
+                | Entry::Stamp { .. }
+                | Entry::Now
+                | Entry::Finish => {
                     unreachable!("zero-cost entries never enter a frame round")
                 }
             }
@@ -454,6 +468,36 @@ impl FrameShared {
             EntryResult::Done => {}
             EntryResult::Killed => std::panic::resume_unwind(Box::new(ProcessKilled)),
             EntryResult::Value(_) => unreachable!("repair records produce no value"),
+        }
+    }
+
+    /// Records an enqueue-to-dequeue latency sample on behalf of `pid`.
+    /// Zero-cost and token-keeping, exactly like
+    /// [`FrameShared::mark_recovered`].
+    pub fn record_latency(&self, pid: usize, arrival_ns: u64) {
+        let guard = self.state.lock().expect("sim lock");
+        if guard.core.processes[pid].finished {
+            return;
+        }
+        match self.park_locked(guard, pid, Entry::Stamp { arrival_ns }) {
+            EntryResult::Done => {}
+            EntryResult::Killed => std::panic::resume_unwind(Box::new(ProcessKilled)),
+            EntryResult::Value(_) => unreachable!("latency stamps produce no value"),
+        }
+    }
+
+    /// Reads `pid`'s current virtual time. Zero-cost and token-keeping;
+    /// a finished (killed) process reads its clock directly, mirroring
+    /// the serial backend's let-finished-pids-through rule.
+    pub fn now_ns(&self, pid: usize) -> u64 {
+        let guard = self.state.lock().expect("sim lock");
+        if guard.core.processes[pid].finished {
+            return guard.core.clock_of(pid);
+        }
+        match self.park_locked(guard, pid, Entry::Now) {
+            EntryResult::Value(v) => v.expect("clock reads are infallible"),
+            EntryResult::Killed => std::panic::resume_unwind(Box::new(ProcessKilled)),
+            EntryResult::Done => unreachable!("clock reads produce a value"),
         }
     }
 
@@ -770,6 +814,21 @@ impl FrameShared {
                 // already charged op by op.
                 fc.core.note_repair(victim, pid, point);
                 self.post(fc, pid, EntryResult::Done);
+                Commit::Sticky
+            }
+            Entry::Stamp { arrival_ns } => {
+                // Free and token-keeping, exactly like the serial
+                // `record_latency`: the dequeue that surfaced the item
+                // was already charged.
+                fc.core.note_latency(pid, arrival_ns);
+                self.post(fc, pid, EntryResult::Done);
+                Commit::Sticky
+            }
+            Entry::Now => {
+                // Free and token-keeping, exactly like the serial
+                // `now_ns`: a clock read touches no shared memory.
+                let now = fc.core.clock_of(pid);
+                self.post(fc, pid, EntryResult::Value(Ok(now)));
                 Commit::Sticky
             }
         }

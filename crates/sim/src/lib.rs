@@ -89,7 +89,8 @@ pub use fault::{FaultAction, FaultPlan, FaultSpec, FaultTrigger};
 pub use platform::{SimCell, SimPlatform};
 pub use recovery::RecoveryPolicy;
 pub use report::{
-    BlockedKind, ProcessReport, RecoveryReport, RepairReport, SimReport, TraceEvent, TraceKind,
+    BlockedKind, LatencySample, ProcessReport, RecoveryReport, RepairReport, SimReport, TraceEvent,
+    TraceKind,
 };
 pub use runner::{ProcessInfo, Simulation};
 pub use sweep::{schedule_sweep, schedule_sweep_with};

@@ -171,11 +171,35 @@ impl Platform for SimPlatform {
         }
     }
 
+    fn mark_recovered(&self, victim: usize) {
+        // Same stamp as the inherent method: generic code reaches it
+        // through the `Platform` trait.
+        SimPlatform::mark_recovered(self, victim);
+    }
+
     fn mark_repaired(&self, victim: usize, point: &'static str) {
         // Free, like mark_recovered: the repair's memory traffic was
         // already charged op by op. No-op outside a simulated process.
         if let Some(pid) = current_pid() {
             self.shared.mark_repaired(pid, victim, point);
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        // The calling process's virtual time. Free and token-keeping: a
+        // clock read touches no shared memory. The coordinator (setup /
+        // inspection) reads 0 — setup is untimed.
+        match current_pid() {
+            Some(pid) => self.shared.now_ns(pid),
+            None => 0,
+        }
+    }
+
+    fn record_latency(&self, arrival_ns: u64) {
+        // Free, like mark_recovered: the dequeue that surfaced the item
+        // was already charged. No-op outside a simulated process.
+        if let Some(pid) = current_pid() {
+            self.shared.record_latency(pid, arrival_ns);
         }
     }
 }
@@ -277,6 +301,31 @@ mod tests {
         // None of that advanced any clock.
         let report = sim.run(|_| {});
         assert_eq!(report.elapsed_ns, 0);
+    }
+
+    #[test]
+    fn latency_stamps_and_clock_reads_are_free() {
+        let sim = Simulation::new(SimConfig::default());
+        let p = sim.platform();
+        assert_eq!(p.now_ns(), 0, "coordinator clock reads are zero");
+        p.record_latency(5); // no-op outside a simulated process
+        let report = sim.run({
+            let p = p.clone();
+            move |_| {
+                let before = p.now_ns();
+                p.delay(100);
+                let after = p.now_ns();
+                assert_eq!(after, before + 100);
+                // Stamp then re-read: the stamp is free, so the clock
+                // must not have moved — the host-side latency equals the
+                // report's sample exactly.
+                p.record_latency(before);
+                assert_eq!(p.now_ns(), after);
+            }
+        });
+        assert_eq!(report.latencies.len(), 1);
+        assert_eq!(report.latencies[0].latency_ns(), 100);
+        assert_eq!(report.total_ops, 0, "stamps and clock reads are free");
     }
 
     #[test]

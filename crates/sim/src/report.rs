@@ -109,6 +109,29 @@ impl RepairReport {
     }
 }
 
+/// One enqueue-to-dequeue latency sample: a consumer observed an item
+/// whose arrival (enqueue-schedule) time was stamped into its value, and
+/// recorded the gap to its own current virtual time (see
+/// [`crate::SimPlatform`]'s `record_latency`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencySample {
+    /// The process that consumed the item (and recorded the sample).
+    pub pid: usize,
+    /// The item's virtual arrival time, as stamped by its producer.
+    pub arrival_ns: u64,
+    /// The consumer's processor clock when it recorded the sample.
+    pub completed_at_ns: u64,
+}
+
+impl LatencySample {
+    /// Virtual enqueue-to-dequeue latency of this item (saturating: an
+    /// item consumed "before" its scheduled arrival — possible when a
+    /// producer ran ahead of its open-loop schedule — reads as zero).
+    pub fn latency_ns(&self) -> u64 {
+        self.completed_at_ns.saturating_sub(self.arrival_ns)
+    }
+}
+
 /// Why the virtual-time watchdog judged a process permanently blocked
 /// (parallel to [`SimReport::blocked`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -168,6 +191,10 @@ pub struct SimReport {
     /// (empty unless the run's processes called
     /// [`crate::SimPlatform::mark_repaired`]).
     pub repairs: Vec<RepairReport>,
+    /// Enqueue-to-dequeue latency samples, in completion order (empty
+    /// unless the run's processes recorded them via the platform's
+    /// `record_latency`).
+    pub latencies: Vec<LatencySample>,
 }
 
 impl SimReport {
@@ -246,6 +273,7 @@ mod tests {
             preempts_injected: 0,
             recoveries: Vec::new(),
             repairs: Vec::new(),
+            latencies: Vec::new(),
         }
     }
 
@@ -279,6 +307,22 @@ mod tests {
         });
         assert_eq!(r.time_to_recover_ns(), Some(900));
         assert_eq!(r.recoveries[0].time_to_recover_ns(), 300);
+    }
+
+    #[test]
+    fn latency_sample_saturates_on_early_consumption() {
+        let on_time = LatencySample {
+            pid: 1,
+            arrival_ns: 100,
+            completed_at_ns: 350,
+        };
+        assert_eq!(on_time.latency_ns(), 250);
+        let early = LatencySample {
+            pid: 1,
+            arrival_ns: 400,
+            completed_at_ns: 350,
+        };
+        assert_eq!(early.latency_ns(), 0);
     }
 
     #[test]

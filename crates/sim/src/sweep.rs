@@ -147,14 +147,29 @@ where
 }
 
 /// One wall-clock line per completed sweep, so CI logs show what the
-/// lanes (and the per-run backend) buy on the sweep-heavy suites. Test
-/// harnesses capture it; `--nocapture` (or any non-test caller) shows it.
+/// lanes (and the per-run backend) buy on the sweep-heavy suites.
+/// Opt-in via `MSQ_SWEEP_TIMINGS=1`: `eprintln!` bypasses the test
+/// harness's output capture, so unconditional per-sweep lines would
+/// spam every `cargo test -q` run of the sweep-heavy suites. CI lanes
+/// that want the breakdown set the flag on their own step.
 fn report_timing(test: &str, seeds: u64, lanes: usize, started: std::time::Instant) {
+    if !timings_enabled() {
+        return;
+    }
     eprintln!(
         "schedule_sweep: {test}: {seeds} seeds x {lanes} lane(s) ({}) in {:.3}s wall-clock",
         crate::engine::backend_label(crate::engine::env_workers()),
         started.elapsed().as_secs_f64()
     );
+}
+
+/// Whether `MSQ_SWEEP_TIMINGS` asks for per-sweep wall-clock lines
+/// (any non-empty value other than `0` enables them).
+fn timings_enabled() -> bool {
+    std::env::var("MSQ_SWEEP_TIMINGS").is_ok_and(|v| {
+        let v = v.trim();
+        !v.is_empty() && v != "0"
+    })
 }
 
 /// The deterministic seed for a sweep index: index 0 is the canonical

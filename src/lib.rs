@@ -83,9 +83,11 @@ pub use msq_core::{
     WordTwoLockQueue, DEFAULT_SHARDS,
 };
 pub use msq_harness::{
-    run_figure, run_native, run_native_batched, run_simulated, run_simulated_batched,
-    run_simulated_faulted, run_simulated_recovered, run_simulated_repaired, Algorithm,
-    FaultedPoint, WorkloadConfig,
+    percentile_ns, run_figure, run_native, run_native_batched, run_scenario_native,
+    run_scenario_simulated, run_simulated, run_simulated_batched, run_simulated_faulted,
+    run_simulated_recovered, run_simulated_repaired, Algorithm, BatchedScenario, FaultedPoint,
+    MeasuredPoint, OpenLoopScenario, PairedScenario, PipelineScenario, PolicyScenario, Scenario,
+    ScenarioCounters, ScenarioCtx, ScenarioOutcome, StealingScenario, WorkloadConfig,
 };
 pub use msq_linearize::{is_linearizable_queue, History, Recorder};
 pub use msq_platform::{

@@ -332,3 +332,332 @@ fn backends_agree_under_stall_and_preempt_faults() {
         .preempt_at_label(2, algorithm.enqueue_fault_label(), 3);
     assert_backends_agree(algorithm, sweep_config(5), &plan, 20);
 }
+
+// ---------------------------------------------------------------------------
+// The scenario engine under the same contract: every new workload shape
+// must be byte-identical across backends, and every legacy entry point
+// must be byte-identical to its pre-refactor inline loop.
+// ---------------------------------------------------------------------------
+
+use ms_queues::{
+    run_scenario_simulated, OpenLoopScenario, PairedScenario, PipelineScenario, PolicyScenario,
+    RecoveryPolicy, Scenario, SimPlatform, StealingScenario, WorkloadConfig,
+};
+
+fn scenario_workload() -> WorkloadConfig {
+    WorkloadConfig {
+        pairs_total: 240,
+        other_work_ns: 500,
+        capacity: 1_024,
+        mem_budget: None,
+    }
+}
+
+/// Runs `scenario` through the unified driver at `workers` frame-stepped
+/// workers (0 = the serial token backend) and returns the raw report.
+fn scenario_report<S: Scenario<SimPlatform> + Clone>(
+    algorithm: Algorithm,
+    cfg: SimConfig,
+    scenario: &S,
+    plan: FaultPlan,
+    workers: usize,
+) -> SimReport {
+    let cfg = SimConfig {
+        sim_workers: Some(workers),
+        ..cfg
+    };
+    run_scenario_simulated(algorithm, cfg, scenario.clone(), plan)
+        .sim_report
+        .expect("simulated run carries a report")
+}
+
+fn assert_scenario_backends_agree<S: Scenario<SimPlatform> + Clone>(
+    name: &str,
+    algorithm: Algorithm,
+    cfg: SimConfig,
+    scenario: &S,
+) {
+    let serial = scenario_report(algorithm, cfg, scenario, FaultPlan::new(), 0);
+    for workers in WORKER_COUNTS.into_iter().skip(1) {
+        let parallel = scenario_report(algorithm, cfg, scenario, FaultPlan::new(), workers);
+        assert_eq!(
+            serial,
+            parallel,
+            "{name} scenario on {label}: frame-stepped backend with {workers} workers \
+             diverged from serial token backend (seed {seed})",
+            label = algorithm.label(),
+            seed = cfg.seed,
+        );
+    }
+}
+
+#[test]
+fn stealing_scenario_is_byte_identical_across_backends() {
+    let scenario = StealingScenario {
+        workload: scenario_workload(),
+    };
+    for algorithm in [Algorithm::NewNonBlocking, Algorithm::NewTwoLock] {
+        for seed in [0, 11, 42] {
+            assert_scenario_backends_agree("stealing", algorithm, sweep_config(seed), &scenario);
+        }
+    }
+}
+
+#[test]
+fn pipeline_scenario_is_byte_identical_across_backends() {
+    let scenario = PipelineScenario {
+        workload: scenario_workload(),
+        stages: 3,
+    };
+    for algorithm in [Algorithm::NewNonBlocking, Algorithm::SingleLock] {
+        for seed in [0, 11, 42] {
+            assert_scenario_backends_agree("pipeline", algorithm, sweep_config(seed), &scenario);
+        }
+    }
+}
+
+#[test]
+fn open_loop_scenario_is_byte_identical_across_backends() {
+    // The latency samples ride inside the SimReport (its `latencies`
+    // field), so this equality also pins the whole latency distribution
+    // — percentiles included — across backends.
+    let scenario = OpenLoopScenario {
+        workload: scenario_workload(),
+        mean_gap_ns: 2_000,
+        seed: 42,
+    };
+    for algorithm in [Algorithm::NewNonBlocking, Algorithm::NewTwoLock] {
+        for seed in [0, 11, 42] {
+            assert_scenario_backends_agree("open-loop", algorithm, sweep_config(seed), &scenario);
+        }
+    }
+}
+
+#[test]
+fn stealing_scenario_backends_agree_under_a_producer_kill() {
+    let scenario = StealingScenario {
+        workload: scenario_workload(),
+    };
+    let cfg = SimConfig {
+        watchdog_ns: 400_000_000,
+        ..sweep_config(11)
+    };
+    let plan = FaultPlan::new().kill_at_label(1, "msq:enq:window", 0);
+    let serial = scenario_report(Algorithm::NewNonBlocking, cfg, &scenario, plan.clone(), 0);
+    assert_eq!(serial.killed, vec![1]);
+    for workers in WORKER_COUNTS.into_iter().skip(1) {
+        let parallel = scenario_report(
+            Algorithm::NewNonBlocking,
+            cfg,
+            &scenario,
+            plan.clone(),
+            workers,
+        );
+        assert_eq!(
+            serial, parallel,
+            "killed stealing run: frame-stepped backend with {workers} workers diverged"
+        );
+    }
+}
+
+/// The pre-refactor `run_simulated` loop, inlined verbatim: the legacy
+/// entry points are now thin wrappers over the scenario engine, so the
+/// old inline driver only survives here, as the fixture pinning the
+/// refactor byte-identical.
+fn legacy_paired_report(
+    algorithm: Algorithm,
+    cfg: SimConfig,
+    plan: FaultPlan,
+    workload: &WorkloadConfig,
+) -> SimReport {
+    let sim = Simulation::with_faults(cfg, plan);
+    let platform = sim.platform();
+    let queue = algorithm.build(&platform, workload.capacity);
+    let pairs_total = workload.pairs_total;
+    let other_work_ns = workload.other_work_ns;
+    sim.run({
+        let queue = Arc::clone(&queue);
+        move |info| {
+            let n = info.num_processes as u64;
+            let my_pairs = pairs_total / n + u64::from((info.pid as u64) < pairs_total % n);
+            for i in 0..my_pairs {
+                let value = ((info.pid as u64) << 40) | i;
+                while queue.enqueue(value).is_err() {
+                    platform.cpu_relax();
+                }
+                platform.delay(other_work_ns);
+                while queue.dequeue().is_none() {
+                    platform.cpu_relax();
+                }
+                platform.delay(other_work_ns);
+            }
+        }
+    })
+}
+
+/// The pre-refactor `run_simulated_with_policy` loop, inlined verbatim
+/// (progress cells, death-board polling, residual-share replay with the
+/// recovery bit, and the survivor's watch loop).
+fn legacy_policy_report(
+    algorithm: Algorithm,
+    cfg: SimConfig,
+    plan: FaultPlan,
+    workload: &WorkloadConfig,
+    survivor: usize,
+    repairable: bool,
+) -> SimReport {
+    const RECOVERY_BIT: u64 = 1 << 39;
+    let sim = Simulation::with_faults(cfg, plan);
+    let platform = sim.platform();
+    let queue = if repairable {
+        algorithm.build_repairable(&platform, workload.capacity)
+    } else {
+        algorithm.build(&platform, workload.capacity)
+    };
+    let n = sim.num_processes();
+    let progress: Arc<Vec<_>> = Arc::new((0..n).map(|_| platform.alloc_cell(0)).collect());
+    let board = Arc::new(platform.death_board());
+    let pairs_total = workload.pairs_total;
+    let other_work_ns = workload.other_work_ns;
+    let share =
+        move |pid: usize| pairs_total / n as u64 + u64::from((pid as u64) < pairs_total % n as u64);
+    sim.run({
+        let queue = Arc::clone(&queue);
+        let progress = Arc::clone(&progress);
+        let board = Arc::clone(&board);
+        move |info| {
+            let my_pairs = share(info.pid);
+            let mut absorbed = vec![false; n];
+            let run_pair = |value: u64| {
+                while queue.enqueue(value).is_err() {
+                    platform.cpu_relax();
+                }
+                platform.delay(other_work_ns);
+                while queue.dequeue().is_none() {
+                    platform.cpu_relax();
+                }
+                platform.delay(other_work_ns);
+            };
+            let absorb_new_deaths = |absorbed: &mut [bool]| {
+                let notices = board.load();
+                for victim in 0..n.min(64) {
+                    if victim == info.pid || absorbed[victim] || notices & (1 << victim) == 0 {
+                        continue;
+                    }
+                    absorbed[victim] = true;
+                    let done = progress[victim].load();
+                    for i in done..share(victim) {
+                        run_pair(((victim as u64) << 40) | RECOVERY_BIT | i);
+                    }
+                    platform.mark_recovered(victim);
+                }
+            };
+            for i in 0..my_pairs {
+                run_pair(((info.pid as u64) << 40) | i);
+                progress[info.pid].store(i + 1);
+                if info.pid == survivor {
+                    absorb_new_deaths(&mut absorbed);
+                }
+            }
+            if info.pid == survivor {
+                loop {
+                    absorb_new_deaths(&mut absorbed);
+                    let all_settled = (0..n)
+                        .all(|v| v == info.pid || absorbed[v] || progress[v].load() == share(v));
+                    if all_settled {
+                        break;
+                    }
+                    platform.delay(other_work_ns);
+                }
+            }
+        }
+    })
+}
+
+#[test]
+fn unified_driver_reproduces_the_legacy_paired_loop_byte_identically() {
+    // `run_simulated`, `run_simulated_faulted`, and the figure sweeps all
+    // reduce to PairedScenario through the unified driver; the refactor
+    // holds only if that path replays the old inline loop exactly —
+    // including under a kill plan.
+    let workload = scenario_workload();
+    for algorithm in Algorithm::WITH_EXTENSIONS {
+        for seed in [0, 11, 42] {
+            let cfg = sweep_config(seed);
+            let old = legacy_paired_report(algorithm, cfg, FaultPlan::new(), &workload);
+            let new = scenario_report(
+                algorithm,
+                cfg,
+                &PairedScenario { workload },
+                FaultPlan::new(),
+                0,
+            );
+            assert_eq!(
+                old, new,
+                "paired scenario diverged from the pre-refactor loop \
+                 ({algorithm}, seed {seed})"
+            );
+        }
+    }
+    let cfg = SimConfig {
+        watchdog_ns: 400_000_000,
+        ..sweep_config(11)
+    };
+    let algorithm = Algorithm::NewNonBlocking;
+    let plan = FaultPlan::new().kill_at_label(1, algorithm.enqueue_fault_label(), 2);
+    let old = legacy_paired_report(algorithm, cfg, plan.clone(), &scenario_workload());
+    let new = scenario_report(
+        algorithm,
+        cfg,
+        &PairedScenario {
+            workload: scenario_workload(),
+        },
+        plan,
+        0,
+    );
+    assert_eq!(
+        old, new,
+        "faulted paired scenario diverged from the old loop"
+    );
+}
+
+#[test]
+fn unified_driver_reproduces_the_legacy_policy_loop_byte_identically() {
+    // `run_simulated_recovered` / `run_simulated_repaired` reduce to
+    // PolicyScenario; pin both the plain and the repairable builds, each
+    // under the kill that exercises the recovery path.
+    let workload = scenario_workload();
+    let cfg = SimConfig {
+        watchdog_ns: 400_000_000,
+        ..sweep_config(0)
+    };
+    for (algorithm, label, repairable) in [
+        (
+            Algorithm::NewNonBlocking,
+            Algorithm::NewNonBlocking.dequeue_fault_label(),
+            false,
+        ),
+        (Algorithm::SingleLock, "single-lock:enq:locked", true),
+        (Algorithm::NewTwoLock, "two-lock:deq:locked", true),
+    ] {
+        let plan = FaultPlan::new().kill_at_label(1, label, 0);
+        let old = legacy_policy_report(algorithm, cfg, plan.clone(), &workload, 0, repairable);
+        assert_eq!(old.killed, vec![1], "{algorithm}");
+        let new = scenario_report(
+            algorithm,
+            cfg,
+            &PolicyScenario {
+                workload,
+                policy: RecoveryPolicy::designated(0),
+                repairable,
+            },
+            plan,
+            0,
+        );
+        assert_eq!(
+            old, new,
+            "policy scenario (repairable={repairable}) diverged from the \
+             pre-refactor loop ({algorithm})"
+        );
+    }
+}

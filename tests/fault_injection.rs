@@ -19,8 +19,8 @@ use std::sync::{Arc, Mutex};
 use ms_queues::linearize::{Event, Operation};
 use ms_queues::{
     is_linearizable_queue, run_simulated_faulted, run_simulated_recovered, run_simulated_repaired,
-    schedule_sweep, Algorithm, BlockedKind, FaultPlan, History, MemBudget, NativePlatform,
-    Recorder, RecoveryPolicy, SimConfig, Simulation, WorkloadConfig,
+    schedule_sweep, Algorithm, AtomicWord, BlockedKind, FaultPlan, History, MemBudget,
+    NativePlatform, Platform, Recorder, RecoveryPolicy, SimConfig, Simulation, WorkloadConfig,
 };
 
 fn tiny() -> WorkloadConfig {
@@ -900,4 +900,324 @@ fn panicking_thread_releases_uncommitted_reservation_natively() {
     assert!(worker.join().is_err(), "the worker must have panicked");
     assert_eq!(budget.reserved(), 0, "unwinding released the reservation");
     assert_eq!(budget.overruns(), 0);
+}
+
+/// Builds the deterministic *re-revocation chain* on the repairable
+/// single-lock queue and returns the surviving history. Staggered
+/// arrivals make the chain identical on every perturbed schedule:
+///
+/// 1. pid 1 starts immediately, takes the lock, and is killed holding
+///    it (`single-lock:enq:locked`, intent published, node unlinked);
+/// 2. pids 2 and 3 arrive 500 µs later, so each one's first
+///    acquisition finds a dead owner past the probe budget and
+///    *revokes* — the CAS winner inherits the repair duty and is
+///    killed inside `single-lock:repair:window`, leaving
+///    `repairing(dead)`, which the loser then re-revokes by the very
+///    same rule and dies the same way;
+/// 3. pid 0 arrives at 5 ms, re-revokes the second dead *repairer*
+///    (not the original lock holder — that is the chain's proof),
+///    completes pid 1's repair, and runs its pairs to completion.
+fn rerevocation_chain_and_record(cfg: SimConfig) -> History {
+    let seed = cfg.seed;
+    let plan = FaultPlan::new()
+        .kill_at_label(1, "single-lock:enq:locked", 0)
+        .kill_at_label(2, "single-lock:repair:window", 0)
+        .kill_at_label(3, "single-lock:repair:window", 0);
+    let sim = Simulation::with_faults(cfg, plan);
+    let platform = sim.platform();
+    let queue = Algorithm::SingleLock.build_repairable(&platform, 64);
+    let recorder = Recorder::new();
+    let handles: Vec<_> = (0..4).map(|p| Some(recorder.handle(p))).collect();
+    let handles = Arc::new(Mutex::new(handles));
+    let report = sim.run({
+        let queue = Arc::clone(&queue);
+        let handles = Arc::clone(&handles);
+        move |info| {
+            let mut handle = handles.lock().unwrap()[info.pid].take().unwrap();
+            match info.pid {
+                2 | 3 => platform.delay(500_000),
+                0 => platform.delay(5_000_000),
+                _ => {}
+            }
+            let pairs = if info.pid == 0 { 4 } else { 2 };
+            for i in 0..pairs {
+                let value = ((info.pid as u64) << 8) | i;
+                handle.enqueue(&*queue, value).unwrap();
+                handle.dequeue(&*queue);
+            }
+        }
+    });
+    let mut killed = report.killed.clone();
+    killed.sort_unstable();
+    assert_eq!(killed, vec![1, 2, 3], "seed {seed:#x}");
+    assert!(
+        report.blocked.is_empty(),
+        "seed {seed:#x}: the chain must beat the watchdog: {:?}",
+        report.blocked
+    );
+    // Exactly one repair completes — by pid 0, and its reported victim
+    // is a dead *repairer*, proving the `repairing(dead)` word was
+    // itself revoked rather than the original holder's `held(dead)`.
+    assert_eq!(report.repairs.len(), 1, "seed {seed:#x}");
+    assert_eq!(report.repairs[0].by, 0, "seed {seed:#x}");
+    assert!(
+        report.repairs[0].victim == 2 || report.repairs[0].victim == 3,
+        "seed {seed:#x}: pid 0 must dispossess a dead repairer, got victim {}",
+        report.repairs[0].victim
+    );
+    // pid 1 died with its node unlinked, so the torn enqueue is
+    // discarded — same verdict as the single-victim sweep.
+    assert_eq!(
+        report.repairs[0].point, "single-lock:repair:enq-discard",
+        "seed {seed:#x}"
+    );
+    let ttr = report
+        .time_to_repair_ns()
+        .expect("the chain stamps time-to-repair");
+    assert!(
+        ttr > 0,
+        "seed {seed:#x}: two re-revocations cost virtual time"
+    );
+
+    // The queue is fully operable afterwards: the drain succeeds and
+    // comes back empty (pid 1's value was discarded, pids 2 and 3 died
+    // before publishing anything, pid 0's pairs balanced).
+    let mut drainer = recorder.handle(4);
+    let mut stranded = 0_u64;
+    while drainer.dequeue(&*queue).is_some() {
+        stranded += 1;
+    }
+    drop(drainer);
+    assert_eq!(
+        stranded, 0,
+        "seed {seed:#x}: the discard verdict strands nothing"
+    );
+
+    let mut events = recorder.finish().events().to_vec();
+    // Defensive admission, mirroring `kill_and_record_repaired`: any
+    // surfaced-but-unrecorded value is a victim's linearized-but-
+    // unacknowledged enqueue (none is expected under the discard
+    // verdict, but the checker must not depend on that).
+    let recorded: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.operation {
+            Operation::Enqueue(v) => Some(v),
+            _ => None,
+        })
+        .collect();
+    let surfaced: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.operation {
+            Operation::Dequeue(Some(v)) => Some(v),
+            _ => None,
+        })
+        .collect();
+    for v in surfaced {
+        if !recorded.contains(&v) {
+            events.push(Event {
+                process: (v >> 8) as usize,
+                operation: Operation::Enqueue(v),
+                invoked_at: 0,
+                returned_at: u64::MAX,
+            });
+        }
+    }
+    History::from_events(events)
+}
+
+/// **Multi-victim fault plans, part 1**: a repairer killed mid-repair
+/// leaves `repairing(dead)`, which is revocable by the same dead-holder
+/// rule — twice over. Across 16 perturbed schedules the three-death
+/// chain (holder, repairer, re-repairer) always ends with the last
+/// arrival completing the original victim's repair, and the surviving
+/// history passes the fast checks and the exhaustive Wing–Gong search.
+#[test]
+fn repairer_killed_mid_repair_is_rerevoked_across_16_seeds() {
+    let base = SimConfig {
+        processors: 4,
+        quantum_ns: 60_000,
+        watchdog_ns: 400_000_000,
+        ..SimConfig::default()
+    };
+    schedule_sweep(base, 16, |cfg| {
+        let seed = cfg.seed;
+        let history = rerevocation_chain_and_record(cfg);
+        assert!(
+            history.check_queue_safety().is_empty(),
+            "seed {seed:#x}: fast checks failed: {:?}",
+            history.events()
+        );
+        assert!(
+            is_linearizable_queue(history.events()),
+            "seed {seed:#x}: chain history not linearizable: {:?}",
+            history.events()
+        );
+    });
+}
+
+/// Runs the designated-survivor protocol with recorder handles and a
+/// fault point before every replayed pair, killing pid 1 at its first
+/// MS enqueue window and then pid 0 — the survivor — at the *second*
+/// replay fault point, i.e. mid-replay: after exactly one replayed
+/// pair, before the handoff is stamped. Returns the surviving history.
+fn survivor_killed_mid_replay_and_record(cfg: SimConfig) -> History {
+    const PAIRS_EACH: u64 = 2;
+    const REPLAY_BASE: u64 = 1 << 12;
+    let seed = cfg.seed;
+    let plan = FaultPlan::new()
+        .kill_at_label(1, "msq:enq:window", 0)
+        .kill_at_label(0, "test:replay:pair", 1);
+    let sim = Simulation::with_faults(cfg, plan);
+    let platform = sim.platform();
+    let queue = Algorithm::NewNonBlocking.build(&platform, 64);
+    let n = sim.num_processes();
+    // Progress cells and the death board are allocated during untimed
+    // setup so cell ids stay schedule-stable, exactly like the policy
+    // driver's own setup.
+    let progress: Arc<Vec<_>> = Arc::new((0..n).map(|_| platform.alloc_cell(0)).collect());
+    let _ = platform.death_board();
+    let recorder = Recorder::new();
+    let handles: Vec<_> = (0..n).map(|p| Some(recorder.handle(p))).collect();
+    let handles = Arc::new(Mutex::new(handles));
+    let report = sim.run({
+        let queue = Arc::clone(&queue);
+        let progress = Arc::clone(&progress);
+        let handles = Arc::clone(&handles);
+        move |info| {
+            let mut handle = handles.lock().unwrap()[info.pid].take().unwrap();
+            let mut absorbed = vec![false; n];
+            let absorb_new_deaths = |handle: &mut ms_queues::linearize::RecorderHandle,
+                                     absorbed: &mut [bool]| {
+                let notices = platform.dead_peers();
+                for victim in 0..n {
+                    if victim == info.pid || absorbed[victim] || notices & (1 << victim) == 0 {
+                        continue;
+                    }
+                    absorbed[victim] = true;
+                    for i in progress[victim].load()..PAIRS_EACH {
+                        // The watched window: pid 0 dies at occurrence
+                        // 1, after replaying exactly one pair.
+                        platform.fault_point("test:replay:pair");
+                        handle.enqueue(&*queue, REPLAY_BASE | i).unwrap();
+                        handle.dequeue(&*queue);
+                    }
+                    platform.mark_recovered(victim);
+                }
+            };
+            for i in 0..PAIRS_EACH {
+                let value = ((info.pid as u64) << 8) | i;
+                handle.enqueue(&*queue, value).unwrap();
+                handle.dequeue(&*queue);
+                progress[info.pid].store(i + 1);
+                if info.pid == 0 {
+                    absorb_new_deaths(&mut handle, &mut absorbed);
+                }
+            }
+            if info.pid == 0 {
+                loop {
+                    absorb_new_deaths(&mut handle, &mut absorbed);
+                    let all_settled = (0..n)
+                        .all(|v| v == info.pid || absorbed[v] || progress[v].load() == PAIRS_EACH);
+                    if all_settled {
+                        break;
+                    }
+                    platform.delay(500);
+                }
+            }
+        }
+    });
+    let mut killed = report.killed.clone();
+    killed.sort_unstable();
+    assert_eq!(killed, vec![0, 1], "seed {seed:#x}");
+    assert!(
+        report.blocked.is_empty(),
+        "seed {seed:#x}: deaths on a non-blocking queue wedge nobody: {:?}",
+        report.blocked
+    );
+    // The survivor died between replayed pairs, before stamping the
+    // handoff: the run records *no* completed recovery.
+    assert!(
+        report.recoveries.is_empty(),
+        "seed {seed:#x}: a mid-replay death must not stamp the handoff"
+    );
+    assert_eq!(report.time_to_recover_ns(), None, "seed {seed:#x}");
+
+    // The queue remains fully operable: drain whatever the deaths left.
+    let mut drainer = recorder.handle(n);
+    while drainer.dequeue(&*queue).is_some() {}
+    drop(drainer);
+
+    let mut events = recorder.finish().events().to_vec();
+    // Exactly one replayed pair completed before the survivor died —
+    // that is what "mid-replay" means, and the history must show it.
+    assert!(
+        events
+            .iter()
+            .any(|e| e.operation == Operation::Enqueue(REPLAY_BASE)),
+        "seed {seed:#x}: the first replayed pair must be on record"
+    );
+    assert!(
+        !events
+            .iter()
+            .any(|e| e.operation == Operation::Enqueue(REPLAY_BASE | 1)),
+        "seed {seed:#x}: the survivor died before the second replayed pair"
+    );
+    // Admit pid 1's linearized-but-unacknowledged enqueue if its value
+    // surfaced (it died inside the MS enqueue window, so the link CAS
+    // may or may not have landed, seed by seed).
+    let recorded: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.operation {
+            Operation::Enqueue(v) => Some(v),
+            _ => None,
+        })
+        .collect();
+    let surfaced: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.operation {
+            Operation::Dequeue(Some(v)) => Some(v),
+            _ => None,
+        })
+        .collect();
+    for v in surfaced {
+        if !recorded.contains(&v) {
+            events.push(Event {
+                process: (v >> 8) as usize,
+                operation: Operation::Enqueue(v),
+                invoked_at: 0,
+                returned_at: u64::MAX,
+            });
+        }
+    }
+    History::from_events(events)
+}
+
+/// **Multi-victim fault plans, part 2**: the designated survivor itself
+/// is killed mid-replay — after absorbing the victim's death notice and
+/// replaying one residual pair, before the handoff stamp. Across 16
+/// perturbed schedules no recovery is recorded, the remaining process
+/// finishes untouched, the queue drains, and the history — replayed
+/// pair included — stays linearizable.
+#[test]
+fn survivor_killed_mid_replay_linearizes_across_16_seeds() {
+    let base = SimConfig {
+        processors: 3,
+        quantum_ns: 60_000,
+        watchdog_ns: 50_000_000,
+        ..SimConfig::default()
+    };
+    schedule_sweep(base, 16, |cfg| {
+        let seed = cfg.seed;
+        let history = survivor_killed_mid_replay_and_record(cfg);
+        assert!(
+            history.check_queue_safety().is_empty(),
+            "seed {seed:#x}: fast checks failed: {:?}",
+            history.events()
+        );
+        assert!(
+            is_linearizable_queue(history.events()),
+            "seed {seed:#x}: mid-replay history not linearizable: {:?}",
+            history.events()
+        );
+    });
 }
